@@ -1,0 +1,433 @@
+package cmpqos
+
+// The benchmark harness: one testing.B benchmark per paper table and
+// figure (regenerating the experiment and reporting its headline numbers
+// as custom metrics), plus microarchitecture benches for the substrate
+// pieces (cache access paths, shadow tags, admission tests) and the
+// ablations DESIGN.md calls out. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The figure benches use scaled job lengths (20 M instructions) so a full
+// sweep completes in seconds; pass -instr via the qossim CLI for the
+// paper's 200 M scale.
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"cmpqos/internal/alloc"
+	"cmpqos/internal/cache"
+	"cmpqos/internal/experiments"
+	"cmpqos/internal/jobfile"
+	"cmpqos/internal/qos"
+	"cmpqos/internal/sim"
+	"cmpqos/internal/workload"
+)
+
+// benchOpts are the scaled experiment options used by the figure benches.
+func benchOpts() experiments.Options {
+	return experiments.Options{JobInstr: 20_000_000}
+}
+
+func BenchmarkFig1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig1(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(r.AloneIPC, "alone-IPC")
+		}
+	}
+}
+
+func BenchmarkFig3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig3(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			gain := 1 - float64(r.Scenarios[2].TotalCycles)/float64(r.Scenarios[0].TotalCycles)
+			b.ReportMetric(gain*100, "downgrade-gain-%")
+		}
+	}
+}
+
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig4(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table1(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig5(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			if c, ok := r.Cell("gobmk", sim.Hybrid1); ok {
+				b.ReportMetric(c.Normalized, "gobmk-hybrid1-speedup")
+			}
+		}
+	}
+}
+
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig7(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric((1-float64(r.AutoTotal)/float64(r.StrictTotal))*100, "autodown-gain-%")
+		}
+	}
+}
+
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig8(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			// The X=5% point: miss increase should sit at ~5%.
+			b.ReportMetric(r.Rows[2].MissIncrease*100, "missinc-at-5%-slack")
+		}
+	}
+}
+
+func BenchmarkFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig9(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			if c, ok := r.Cell("Mix-1", sim.Hybrid2); ok {
+				b.ReportMetric(c.Normalized, "mix1-hybrid2-speedup")
+			}
+		}
+	}
+}
+
+func BenchmarkLAC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.LAC(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(r.Rows[1].Occupancy*100, "occupancy-%-at-512")
+		}
+	}
+}
+
+// ---- Ablation benches (DESIGN.md) ----
+
+func BenchmarkPartitionVariance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.AblationPartition(experiments.Options{})
+		if i == b.N-1 {
+			b.ReportMetric(r.GlobalCoV, "global-CoV")
+			b.ReportMetric(r.PerSetCoV, "per-set-CoV")
+		}
+	}
+}
+
+func BenchmarkShadowSampling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.AblationSampling(experiments.Options{})
+		if i == b.N-1 {
+			b.ReportMetric(r.Full, "full-excess-ratio")
+		}
+	}
+}
+
+// ---- Microarchitecture benches ----
+
+func benchCacheAccesses(b *testing.B, c cache.Interface) {
+	b.Helper()
+	p := workload.MustByName("bzip2")
+	st := p.NewStream(1, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(0, st.Next())
+	}
+}
+
+func BenchmarkCacheLRU(b *testing.B) {
+	benchCacheAccesses(b, cache.NewLRU(cache.PaperL2()))
+}
+
+func BenchmarkCachePartitioned(b *testing.B) {
+	c := cache.NewPartitioned(cache.PaperL2())
+	c.SetTarget(0, 7)
+	c.SetClass(0, cache.ClassReserved)
+	benchCacheAccesses(b, c)
+}
+
+func BenchmarkCacheGlobalPartition(b *testing.B) {
+	c := cache.NewGlobal(cache.PaperL2())
+	c.SetTargetWays(0, 7)
+	benchCacheAccesses(b, c)
+}
+
+// BenchmarkVictimPolicy stresses the QoS-aware victim selection: four
+// owners with mixed classes contending in every set.
+func BenchmarkVictimPolicy(b *testing.B) {
+	cfg := cache.PaperL2()
+	c := cache.NewPartitioned(cfg)
+	c.SetTarget(0, 7)
+	c.SetClass(0, cache.ClassReserved)
+	c.SetTarget(1, 5)
+	c.SetClass(1, cache.ClassReserved)
+	c.SetClass(2, cache.ClassOpportunistic)
+	c.SetClass(3, cache.ClassOpportunistic)
+	streams := []*workload.Stream{
+		workload.MustByName("bzip2").NewStream(1, 0),
+		workload.MustByName("hmmer").NewStream(1, 1),
+		workload.MustByName("gobmk").NewStream(1, 2),
+		workload.MustByName("mcf").NewStream(1, 3),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o := i & 3
+		c.Access(o, streams[o].Next())
+	}
+}
+
+func BenchmarkShadowTagsObserve(b *testing.B) {
+	cfg := cache.PaperL2()
+	main := cache.NewPartitioned(cfg)
+	main.SetTarget(0, 3)
+	main.SetClass(0, cache.ClassReserved)
+	st := cache.NewShadowTags(cfg, 8)
+	st.SetTarget(0, 7)
+	st.SetClass(0, cache.ClassReserved)
+	stream := workload.MustByName("bzip2").NewStream(1, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := stream.Next()
+		st.Observe(0, a, main.Access(0, a))
+	}
+}
+
+// ---- Admission control benches ----
+
+func BenchmarkTimelineEarliestFit(b *testing.B) {
+	tl := qos.NewTimeline(qos.ResourceVector{Cores: 4, CacheWays: 16})
+	med := qos.PresetMedium()
+	for i := 0; i < 24; i++ {
+		if s, ok := tl.EarliestFit(med, 0, 1000, 0); ok {
+			tl.Reserve(i, med, s, 1000)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tl.EarliestFit(med, 0, 1000, 0)
+	}
+}
+
+func BenchmarkLACAdmit(b *testing.B) {
+	l := qos.NewLAC(qos.ResourceVector{Cores: 4, CacheWays: 16})
+	tw := int64(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Admit(qos.Request{
+			JobID:   i,
+			Target:  qos.RUM{Resources: qos.PresetMedium(), MaxWallClock: tw, Deadline: int64(i)*tw + 100*tw},
+			Mode:    qos.Strict(),
+			Arrival: int64(i) * tw,
+		})
+		if i%64 == 63 {
+			l.Complete(i-32, qos.Strict(), int64(i)*tw)
+		}
+	}
+}
+
+// ---- Whole-simulation benches (one per engine) ----
+
+func BenchmarkSimTableEngine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := sim.DefaultConfig(sim.Hybrid2, workload.Single("bzip2"))
+		cfg.JobInstr = 10_000_000
+		cfg.StealIntervalInstr = 100_000
+		r, err := sim.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimTraceEngine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := sim.TraceConfig(sim.Hybrid2, workload.Single("bzip2"))
+		r, err := sim.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExperimentRenderAll measures the full CLI sweep end to end.
+func BenchmarkExperimentRenderAll(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, r := range experiments.Registry() {
+			if r.Name == "ablation-partition" || r.Name == "ablation-sampling" {
+				continue // covered by their own benches; too slow here
+			}
+			if err := r.Run(benchOpts(), io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// ---- Extension/validation benches ----
+
+func BenchmarkRelatedComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Related(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClusterScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Cluster(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			last := r.Rows[len(r.Rows)-1]
+			b.ReportMetric(last.JobsPerGcycle, "jobs-per-Gcyc-at-4-nodes")
+		}
+	}
+}
+
+func BenchmarkFragDecomposition(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Frag(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHierarchyAccess(b *testing.B) {
+	h := cache.NewHierarchy(1, cache.PaperL1(), cache.PaperL2())
+	h.L2().SetTarget(0, 7)
+	h.L2().SetClass(0, cache.ClassReserved)
+	ms := workload.MustByName("bzip2").NewMemStream(1, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(0, ms.Next())
+	}
+}
+
+func BenchmarkUCPAllocation(b *testing.B) {
+	demands := []alloc.Demand{
+		{Profile: workload.MustByName("bzip2")},
+		{Profile: workload.MustByName("mcf")},
+		{Profile: workload.MustByName("gobmk")},
+		{Profile: workload.MustByName("hmmer")},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		alloc.UCP(demands, 16)
+	}
+}
+
+func BenchmarkJobfileParse(b *testing.B) {
+	src := `node count=2 cores=4 ways=16
+job name=db    bench=bzip2 mode=strict preset=medium tw=500ms deadline=2.0
+job name=batch bench=gobmk mode=elastic slack=5% ways=7 tw=300ms deadline=3.0
+job name=scav  bench=milc  mode=opportunistic ways=4 tw=200ms
+`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := jobfile.Parse(strings.NewReader(src)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNegotiate(b *testing.B) {
+	l := qos.NewLAC(qos.ResourceVector{Cores: 4, CacheWays: 16})
+	tw := int64(1000)
+	for i := 1; i <= 2; i++ {
+		l.Admit(qos.Request{JobID: i,
+			Target: qos.RUM{Resources: qos.PresetMedium(), MaxWallClock: tw, Deadline: 3 * tw},
+			Mode:   qos.Strict()})
+	}
+	req := qos.Request{JobID: 9,
+		Target: qos.RUM{Resources: qos.PresetMedium(), MaxWallClock: tw, Deadline: tw + tw/20},
+		Mode:   qos.Strict()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Negotiate(req)
+	}
+}
+
+func BenchmarkTraceFileRoundTrip(b *testing.B) {
+	st := workload.MustByName("bzip2").NewStream(1, 0)
+	var buf bytes.Buffer
+	if err := workload.WriteTrace(&buf, st, 100_000); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := workload.ReadTrace(bytes.NewReader(raw)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimFullHierarchy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := sim.TraceConfig(sim.AllStrict, workload.Single("gobmk"))
+		cfg.ModelL1 = true
+		cfg.JobInstr = 2_000_000
+		cfg.StealIntervalInstr = 100_000
+		cfg.TwMargin = 1.35
+		r, err := sim.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+// Command misscurve probes miss-ratio-vs-ways curves for the benchmark
+// profiles, through the real partitioned cache model (synthetic trace)
+// and/or from the calibrated tables, and prints them side by side.
+//
+// Usage:
+//
+//	misscurve                 # all fifteen benchmarks, calibrated curves
+//	misscurve -bench bzip2 -trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cmpqos/internal/cache"
+	"cmpqos/internal/workload"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "", "benchmark to probe (default: all)")
+		doTrace = flag.Bool("trace", false, "also measure through the real cache model")
+		warmup  = flag.Int("warmup", 250_000, "trace warmup accesses per allocation")
+		measure = flag.Int("measure", 250_000, "trace measured accesses per allocation")
+		dump    = flag.String("dump", "", "record the benchmark's synthetic trace to this file and exit")
+		dumpN   = flag.Int("dump-n", 1_000_000, "accesses to record with -dump")
+		replay  = flag.String("replay", "", "probe a recorded trace file instead of a benchmark")
+	)
+	flag.Parse()
+
+	cfg := cache.Config{SizeBytes: 2 << 20, Ways: 16, BlockSize: 64, Owners: 1, HitCycles: 10}
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "misscurve:", err)
+			os.Exit(1)
+		}
+		addrs, err := workload.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "misscurve:", err)
+			os.Exit(1)
+		}
+		curve := cache.ProbeMissCurve(cfg, func() cache.AddrStream {
+			return workload.NewReplay(addrs)
+		}, *warmup, *measure)
+		fmt.Printf("replayed %s (%d accesses)\n  ways:  ", *replay, len(addrs))
+		for w := 1; w <= 16; w++ {
+			fmt.Printf("%6d", w)
+		}
+		fmt.Printf("\n  trace: ")
+		for w := 1; w <= 16; w++ {
+			fmt.Printf("%6.3f", curve.At(w))
+		}
+		fmt.Println()
+		return
+	}
+	if *dump != "" {
+		if *bench == "" {
+			fmt.Fprintln(os.Stderr, "misscurve: -dump needs -bench")
+			os.Exit(2)
+		}
+		p, ok := workload.ByName(*bench)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "misscurve: unknown benchmark %q\n", *bench)
+			os.Exit(2)
+		}
+		f, err := os.Create(*dump)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "misscurve:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := workload.WriteTrace(f, p.NewStream(42, 0), *dumpN); err != nil {
+			fmt.Fprintln(os.Stderr, "misscurve:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("recorded %d accesses of %s to %s\n", *dumpN, *bench, *dump)
+		return
+	}
+
+	var profiles []workload.Profile
+	if *bench == "" {
+		profiles = workload.Profiles()
+	} else {
+		p, ok := workload.ByName(*bench)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "misscurve: unknown benchmark %q\n", *bench)
+			os.Exit(2)
+		}
+		profiles = []workload.Profile{p}
+	}
+
+	for _, p := range profiles {
+		fmt.Printf("%s (%s, group %d: %s)\n", p.Name, p.InputSet, int(p.Group), p.Group)
+		fmt.Printf("  ways:       ")
+		for w := 1; w <= 16; w++ {
+			fmt.Printf("%6d", w)
+		}
+		fmt.Printf("\n  calibrated: ")
+		for w := 1; w <= 16; w++ {
+			fmt.Printf("%6.3f", p.MissRatio(w))
+		}
+		fmt.Println()
+		if *doTrace {
+			curve := p.ProbeCurve(cfg, *warmup, *measure)
+			fmt.Printf("  trace:      ")
+			for w := 1; w <= 16; w++ {
+				fmt.Printf("%6.3f", curve.At(w))
+			}
+			fmt.Println()
+		}
+	}
+}

@@ -1,0 +1,173 @@
+// Command qosctl schedules a batch-job file onto a cluster of simulated
+// CMP nodes through the QoS framework's admission controllers, and
+// prints the resulting schedule — the LSBatch-style front door the paper
+// grounds its RUM targets in (§3.2).
+//
+// Usage:
+//
+//	qosctl jobs.qos
+//	qosctl -negotiate -clock 2GHz jobs.qos
+//
+// A job file looks like:
+//
+//	node count=2 cores=4 ways=16
+//	job name=db    bench=bzip2 mode=strict preset=medium tw=500ms deadline=2.0
+//	job name=batch bench=gobmk mode=elastic slack=5% ways=7 tw=300ms deadline=3.0
+//	job name=scav  bench=milc  mode=opportunistic ways=4 tw=200ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cmpqos/internal/jobfile"
+	"cmpqos/internal/qos"
+	"cmpqos/internal/sim"
+	"cmpqos/internal/workload"
+)
+
+func main() {
+	var (
+		negotiate = flag.Bool("negotiate", false, "retry rejected Strict jobs with weaker modes")
+		clock     = flag.String("clock", "2GHz", "node clock frequency (e.g. 2GHz, 1.5GHz)")
+		simulate  = flag.Bool("simulate", false, "run the jobs through the CMP simulator end to end")
+		instr     = flag.Int64("instr", 20_000_000, "instructions per job when simulating")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: qosctl [-negotiate] [-clock 2GHz] <jobfile>")
+		os.Exit(2)
+	}
+	hz, err := parseClock(*clock)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qosctl:", err)
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qosctl:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	spec, err := jobfile.Parse(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qosctl:", err)
+		os.Exit(1)
+	}
+
+	if *simulate {
+		runSimulation(spec, *instr)
+		return
+	}
+
+	nodes := make([]*qos.LAC, spec.NodeCount)
+	for i := range nodes {
+		nodes[i] = qos.NewLAC(spec.NodeCapacity)
+	}
+	gac := qos.NewGAC(nodes...)
+
+	fmt.Printf("cluster: %d node(s) of %v at %s\n\n", spec.NodeCount, spec.NodeCapacity, *clock)
+	fmt.Println("job        mode            node   start(ms)  reserved(ms)      outcome")
+	accepted, rejected := 0, 0
+	for i, req := range spec.Requests(hz) {
+		name := spec.Jobs[i].Name
+		if name == "" {
+			name = fmt.Sprintf("job-%d", req.JobID)
+		}
+		var node int
+		var mode qos.Mode
+		var dec qos.Decision
+		if *negotiate {
+			node, mode, dec = gac.SubmitOrNegotiate(req, 0.05)
+		} else {
+			mode = req.Mode
+			node, dec = gac.Submit(req)
+		}
+		if !dec.Accepted {
+			rejected++
+			fmt.Printf("%-10s %-15s %4s  %9s  %12s      REJECTED: %s\n",
+				name, req.Mode.String(), "-", "-", "-", dec.Reason)
+			continue
+		}
+		accepted++
+		rum := req.Target.(qos.RUM)
+		resv := "-"
+		if mode.Reserves() {
+			resv = fmt.Sprintf("%.1f", float64(mode.ReservationLength(rum.MaxWallClock))/hz*1e3)
+		}
+		outcome := "accepted"
+		if dec.AutoDowngraded {
+			outcome = "accepted (auto-downgraded)"
+		} else if mode != req.Mode {
+			outcome = "accepted (negotiated)"
+		}
+		fmt.Printf("%-10s %-15s %4d  %9.1f  %12s      %s\n",
+			name, mode.String(), node, float64(dec.Start)/hz*1e3, resv, outcome)
+	}
+	fmt.Printf("\n%d accepted, %d rejected\n", accepted, rejected)
+	for i, n := range nodes {
+		fmt.Printf("node %d reservations:\n", i)
+		tl := n.Timeline()
+		for _, r := range tl.Reservations() {
+			fmt.Printf("  job %-3d %v  [%8.1f ms .. %8.1f ms)\n",
+				r.JobID, r.Vec, float64(r.Start)/hz*1e3, float64(r.End)/hz*1e3)
+		}
+		if h := tl.Horizon(0); h > 0 {
+			fmt.Print(tl.Render(0, h, 64))
+		}
+	}
+	if rejected > 0 {
+		os.Exit(3)
+	}
+}
+
+func parseClock(s string) (float64, error) {
+	up := strings.ToUpper(strings.TrimSpace(s))
+	mult := 1.0
+	switch {
+	case strings.HasSuffix(up, "GHZ"):
+		mult = 1e9
+		up = strings.TrimSuffix(up, "GHZ")
+	case strings.HasSuffix(up, "MHZ"):
+		mult = 1e6
+		up = strings.TrimSuffix(up, "MHZ")
+	case strings.HasSuffix(up, "HZ"):
+		up = strings.TrimSuffix(up, "HZ")
+	}
+	var f float64
+	if _, err := fmt.Sscanf(up, "%g", &f); err != nil || f <= 0 {
+		return 0, fmt.Errorf("bad clock %q", s)
+	}
+	return f * mult, nil
+}
+
+// runSimulation executes the job file's submissions through the CMP
+// simulator (Hybrid-2 semantics: every mode in the file is honored) and
+// prints the resulting report and execution trace.
+func runSimulation(spec *jobfile.Spec, instr int64) {
+	cfg := sim.DefaultConfig(sim.Hybrid2, workload.Composition{Name: "jobfile"})
+	cfg.JobInstr = instr
+	cfg.StealIntervalInstr = instr / 100
+	if cfg.StealIntervalInstr < 1 {
+		cfg.StealIntervalInstr = 1
+	}
+	cfg.Script = spec.Script(cfg.CPU.ClockHz)
+	if spec.NodeCapacity.Cores > 0 && spec.NodeCapacity.Cores <= cfg.L2.Owners {
+		cfg.Cores = spec.NodeCapacity.Cores
+	}
+	r, err := sim.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qosctl:", err)
+		os.Exit(1)
+	}
+	rep, err := r.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qosctl:", err)
+		os.Exit(1)
+	}
+	fmt.Print(rep.Summary())
+	fmt.Println()
+	fmt.Print(rep.Gantt(72))
+}

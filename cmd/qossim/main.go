@@ -1,0 +1,112 @@
+// Command qossim regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	qossim -exp fig5                 # one experiment (table engine, paper scale)
+//	qossim -exp all                  # every experiment
+//	qossim -exp fig8 -engine trace   # trace-driven cache execution
+//	qossim -exp fig7 -instr 20000000 # scaled-down jobs for quick runs
+//	qossim -list                     # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cmpqos/internal/experiments"
+	"cmpqos/internal/sim"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "experiment to run (see -list), or 'all'")
+		engine = flag.String("engine", "table", "execution engine: table or trace")
+		instr  = flag.Int64("instr", 0, "instructions per job (0 = engine default)")
+		seed   = flag.Int64("seed", 0, "random seed (0 = default)")
+		list   = flag.Bool("list", false, "list available experiments")
+		asCSV  = flag.Bool("csv", false, "emit machine-readable CSV instead of text tables")
+		html   = flag.String("html", "", "write a single-file HTML report of ALL experiments to this path")
+	)
+	flag.Parse()
+
+	if *list || (*exp == "" && *html == "") {
+		fmt.Println("available experiments:")
+		for _, r := range experiments.Registry() {
+			fmt.Printf("  %-20s %s\n", r.Name, r.Paper)
+		}
+		if *exp == "" && *html == "" {
+			os.Exit(2)
+		}
+		return
+	}
+
+	opts := experiments.Options{JobInstr: *instr, Seed: *seed}
+	switch *engine {
+	case "table":
+		opts.Engine = sim.EngineTable
+	case "trace":
+		opts.Engine = sim.EngineTrace
+	default:
+		fmt.Fprintf(os.Stderr, "qossim: unknown engine %q (table|trace)\n", *engine)
+		os.Exit(2)
+	}
+
+	if *html != "" {
+		f, err := os.Create(*html)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qossim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := experiments.WriteHTML(f, opts); err != nil {
+			fmt.Fprintln(os.Stderr, "qossim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *html)
+		return
+	}
+
+	if *asCSV {
+		if *exp == "all" {
+			fmt.Fprintln(os.Stderr, "qossim: -csv needs a single experiment name")
+			os.Exit(2)
+		}
+		tab, err := experiments.CSVResult(*exp, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qossim:", err)
+			os.Exit(1)
+		}
+		if err := experiments.WriteCSV(os.Stdout, tab); err != nil {
+			fmt.Fprintln(os.Stderr, "qossim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	var runners []experiments.Runner
+	if *exp == "all" {
+		runners = experiments.Registry()
+	} else {
+		r, ok := experiments.Lookup(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "qossim: unknown experiment %q; try -list\n", *exp)
+			os.Exit(2)
+		}
+		runners = []experiments.Runner{r}
+	}
+	for i, r := range runners {
+		if i > 0 {
+			fmt.Println("\n" + divider)
+		}
+		start := time.Now()
+		if err := r.Run(opts, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "qossim: %s: %v\n", r.Name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %v]\n", r.Name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+const divider = "────────────────────────────────────────────────────────────────────"

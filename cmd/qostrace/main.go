@@ -1,0 +1,110 @@
+// Command qostrace renders Figure-7-style execution traces for any
+// workload and configuration.
+//
+// Usage:
+//
+//	qostrace -policy autodown -workload bzip2
+//	qostrace -policy hybrid2 -workload mix1 -width 100 -events
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cmpqos/internal/sim"
+	"cmpqos/internal/workload"
+)
+
+func main() {
+	var (
+		policy = flag.String("policy", "allstrict", "allstrict|hybrid1|hybrid2|autodown|equalpart")
+		wl     = flag.String("workload", "bzip2", "benchmark name, mix1, or mix2")
+		width  = flag.Int("width", 80, "gantt width in columns")
+		instr  = flag.Int64("instr", 20_000_000, "instructions per job")
+		seed   = flag.Int64("seed", 1, "random seed")
+		events = flag.Bool("events", false, "also dump the raw event log")
+		series = flag.Bool("series", false, "also print per-epoch telemetry")
+		asJSON = flag.Bool("json", false, "emit the full report as JSON instead of text")
+	)
+	flag.Parse()
+
+	pol, ok := parsePolicy(*policy)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "qostrace: unknown policy %q\n", *policy)
+		os.Exit(2)
+	}
+	comp, err := parseWorkload(*wl)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qostrace:", err)
+		os.Exit(2)
+	}
+	cfg := sim.DefaultConfig(pol, comp)
+	cfg.JobInstr = *instr
+	cfg.StealIntervalInstr = *instr / 100
+	cfg.Seed = *seed
+	cfg.RecordSeries = *series
+	r, err := sim.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qostrace:", err)
+		os.Exit(1)
+	}
+	rep, err := r.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qostrace:", err)
+		os.Exit(1)
+	}
+	if *asJSON {
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "qostrace:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("%s / %s — %d accepted jobs complete in %d cycles, hit rate %.0f%%\n\n",
+		rep.Policy, rep.Workload, len(rep.Jobs), rep.TotalCycles, rep.DeadlineHitRate*100)
+	fmt.Print(rep.Gantt(*width))
+	if *events {
+		fmt.Println("\nevent log:")
+		for _, e := range rep.Recorder.Events() {
+			fmt.Printf("%14d  job %-5d %s\n", e.Cycle, e.JobID, e.Kind)
+		}
+	}
+	if *series {
+		fmt.Println("\ntelemetry (cycle, running, waiting, reserved-ways, opp-jobs, bus-util):")
+		for _, p := range rep.Series {
+			fmt.Printf("%14d  %3d %3d %3d %3d  %.3f\n",
+				p.Cycle, p.Running, p.Waiting, p.ReservedWays, p.OppJobs, p.BusUtil)
+		}
+	}
+}
+
+func parsePolicy(s string) (sim.Policy, bool) {
+	switch strings.ToLower(s) {
+	case "allstrict", "all-strict":
+		return sim.AllStrict, true
+	case "hybrid1", "hybrid-1":
+		return sim.Hybrid1, true
+	case "hybrid2", "hybrid-2":
+		return sim.Hybrid2, true
+	case "autodown", "all-strict+autodown":
+		return sim.AllStrictAutoDown, true
+	case "equalpart":
+		return sim.EqualPart, true
+	}
+	return 0, false
+}
+
+func parseWorkload(s string) (workload.Composition, error) {
+	switch strings.ToLower(s) {
+	case "mix1", "mix-1":
+		return workload.Mix1(), nil
+	case "mix2", "mix-2":
+		return workload.Mix2(), nil
+	}
+	if _, ok := workload.ByName(s); !ok {
+		return workload.Composition{}, fmt.Errorf("unknown workload %q", s)
+	}
+	return workload.Single(s), nil
+}

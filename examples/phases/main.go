@@ -1,0 +1,70 @@
+// Phased workloads: server jobs have "dynamic and input-dependent
+// behavior" (§3.1), so the maximum-wall-clock request must budget the
+// worst phase — making calm phases internal fragmentation. This example
+// runs a bzip2 whose first half is calm (half the misses) and second
+// half hot, and shows that (a) Strict reservations still meet every
+// deadline because tw covers the hot phase, and (b) under Hybrid-2 the
+// Elastic phased jobs donate their calm-phase slack to Opportunistic
+// neighbours via resource stealing, recovering throughput that a static
+// view of the job would have wasted.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cmpqos"
+)
+
+func main() {
+	phases := []cmpqos.Phase{
+		{Until: 0.5, MPIScale: 0.5}, // calm first half
+		{Until: 1.0, MPIScale: 1.0}, // hot second half
+	}
+	build := func(withPhases bool) cmpqos.Workload {
+		w := cmpqos.Workload{Name: "phased"}
+		for i := 0; i < 10; i++ {
+			hint := cmpqos.HintStrict
+			switch i % 10 {
+			case 1, 4, 7:
+				hint = cmpqos.HintElastic
+			case 2, 5, 8:
+				hint = cmpqos.HintOpportunistic
+			}
+			jt := cmpqos.JobTemplate{Benchmark: "bzip2", Hint: hint}
+			if withPhases {
+				jt.Phases = phases
+			}
+			w.Jobs = append(w.Jobs, jt)
+		}
+		return w
+	}
+	runOne := func(w cmpqos.Workload) *cmpqos.Report {
+		cfg := cmpqos.NewSimConfig(cmpqos.Hybrid2, w)
+		cfg.JobInstr = 20_000_000
+		cfg.StealIntervalInstr = cfg.JobInstr / 100
+		rep, err := cmpqos.Simulate(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return rep
+	}
+
+	uniform := runOne(build(false))
+	phased := runOne(build(true))
+
+	fmt.Println("Hybrid-2, ten bzip2 jobs, with and without phase behaviour:")
+	fmt.Printf("%-22s %-14s %-14s\n", "", "uniform", "phased (calm 1st half)")
+	fmt.Printf("%-22s %11.0f M  %11.0f M\n", "total wall-clock",
+		float64(uniform.TotalCycles)/1e6, float64(phased.TotalCycles)/1e6)
+	fmt.Printf("%-22s %12.0f%%  %12.0f%%\n", "deadline hit rate",
+		uniform.DeadlineHitRate*100, phased.DeadlineHitRate*100)
+	fmt.Printf("%-22s %11.1f%%  %12.1f%%\n", "elastic miss increase",
+		uniform.ElasticMissIncrease*100, phased.ElasticMissIncrease*100)
+	fmt.Printf("%-22s %11.0f M  %11.0f M\n", "opportunistic wall avg",
+		uniform.OppWallClock.Mean()/1e6, phased.OppWallClock.Mean()/1e6)
+
+	fmt.Println("\nthe phased jobs' calm halves finish ahead of their worst-case budget,")
+	fmt.Println("so reservations release early and the whole workload completes sooner —")
+	fmt.Println("while the deadline guarantee (sized for the hot phase) never breaks.")
+}

@@ -1,0 +1,3 @@
+module cmpqos
+
+go 1.22

@@ -1,0 +1,386 @@
+// Package cache implements the shared-L2 cache models from the paper: a
+// set-associative cache with true LRU, the per-set way-partitioning scheme
+// with QoS-aware victim selection (paper §4.1), the global modified-LRU
+// partitioning scheme of Suh et al. (the alternative the paper rejects for
+// its run-to-run variability), and the duplicate (shadow) tag arrays with
+// set sampling that support resource stealing (paper §4.3).
+//
+// All caches in this package are tag-only models: they track which block
+// addresses are resident and who owns them, not data contents. That is all
+// the QoS framework observes. Owners are small integers (core IDs).
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Addr is a byte address in the simulated physical address space.
+type Addr uint64
+
+// Class describes the QoS standing of the job running on a core, as far
+// as the cache victim-selection hardware cares: blocks belonging to
+// reserved-mode jobs (Strict or Elastic) are prioritized for reclamation
+// when their core is over target, because the partitioning hardware wants
+// those cores to converge to their targets quickly (paper §4.1).
+type Class uint8
+
+const (
+	// ClassNone marks a core with no job (its blocks are fair game).
+	ClassNone Class = iota
+	// ClassReserved marks a core running a Strict or Elastic(X) job.
+	ClassReserved
+	// ClassOpportunistic marks a core running Opportunistic jobs.
+	ClassOpportunistic
+)
+
+// String returns the class name.
+func (c Class) String() string {
+	switch c {
+	case ClassNone:
+		return "none"
+	case ClassReserved:
+		return "reserved"
+	case ClassOpportunistic:
+		return "opportunistic"
+	}
+	return fmt.Sprintf("Class(%d)", uint8(c))
+}
+
+// Config describes cache geometry.
+type Config struct {
+	SizeBytes int   // total capacity in bytes
+	Ways      int   // associativity
+	BlockSize int   // line size in bytes
+	Owners    int   // number of cores that may own blocks
+	HitCycles int64 // access latency, cycles (bookkeeping only)
+}
+
+// Sets returns the number of sets implied by the geometry.
+func (c Config) Sets() int { return c.SizeBytes / (c.Ways * c.BlockSize) }
+
+// Validate checks the geometry for internal consistency.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.Ways <= 0 || c.BlockSize <= 0 {
+		return fmt.Errorf("cache: non-positive geometry %+v", c)
+	}
+	if c.Owners <= 0 {
+		return fmt.Errorf("cache: need at least one owner")
+	}
+	if c.BlockSize&(c.BlockSize-1) != 0 {
+		return fmt.Errorf("cache: block size %d is not a power of two", c.BlockSize)
+	}
+	if c.SizeBytes%(c.Ways*c.BlockSize) != 0 {
+		return fmt.Errorf("cache: size %d not divisible by ways*block", c.SizeBytes)
+	}
+	sets := c.Sets()
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: set count %d is not a power of two", sets)
+	}
+	return nil
+}
+
+// PaperL2 returns the paper's shared L2 geometry: 2 MB, 16-way, 64 B
+// blocks (2048 sets), 10-cycle access, four owning cores.
+func PaperL2() Config {
+	return Config{SizeBytes: 2 << 20, Ways: 16, BlockSize: 64, Owners: 4, HitCycles: 10}
+}
+
+// PaperL1 returns the paper's private L1 geometry: 32 KB, 4-way, 64 B
+// blocks, 2-cycle access, single owner.
+func PaperL1() Config {
+	return Config{SizeBytes: 32 << 10, Ways: 4, BlockSize: 64, Owners: 1, HitCycles: 2}
+}
+
+// Result reports the outcome of one access.
+type Result struct {
+	Hit         bool
+	Set         int  // set index the access mapped to
+	VictimOwner int  // owner whose block was evicted on a miss; -1 if none
+	Evicted     bool // whether a valid block was displaced
+	// WriteBack reports that the displaced block was dirty: a write-back
+	// transfer to the next level (the paper's caches are write-back).
+	WriteBack bool
+}
+
+// Interface is the behaviour common to all cache models in this package.
+type Interface interface {
+	// Access performs a (read or write — the tag model does not care)
+	// access by owner to addr and returns the outcome.
+	Access(owner int, addr Addr) Result
+	// Stats returns cumulative accesses and misses for an owner.
+	Stats(owner int) (accesses, misses int64)
+	// ResetStats zeroes the per-owner counters without touching contents.
+	ResetStats()
+}
+
+// line is one cache line's tag state.
+type line struct {
+	tag   uint64
+	stamp uint64 // LRU stamp; larger = more recently used
+	owner int8
+	valid bool
+	dirty bool
+}
+
+// baseCache holds the storage shared by every cache model.
+type baseCache struct {
+	cfg        Config
+	sets       [][]line
+	clock      uint64 // global LRU stamp source
+	setShift   uint
+	setMask    uint64
+	ownerAcc   []int64
+	ownerMiss  []int64
+	totalAcc   int64
+	totalMiss  int64
+	occupancy  [][]int16 // occupancy[set][owner]: valid blocks owned per set
+	globalOcc  []int64   // blocks owned per owner across all sets
+	freeInSet  []int16   // invalid lines per set
+	writeBacks int64     // dirty evictions (write-back transfers)
+}
+
+func newBase(cfg Config) *baseCache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sets := cfg.Sets()
+	b := &baseCache{
+		cfg:       cfg,
+		sets:      make([][]line, sets),
+		setShift:  uint(bits.TrailingZeros(uint(cfg.BlockSize))),
+		setMask:   uint64(sets - 1),
+		ownerAcc:  make([]int64, cfg.Owners),
+		ownerMiss: make([]int64, cfg.Owners),
+		occupancy: make([][]int16, sets),
+		globalOcc: make([]int64, cfg.Owners),
+		freeInSet: make([]int16, sets),
+	}
+	lines := make([]line, sets*cfg.Ways)
+	occ := make([]int16, sets*cfg.Owners)
+	for s := 0; s < sets; s++ {
+		b.sets[s] = lines[s*cfg.Ways : (s+1)*cfg.Ways : (s+1)*cfg.Ways]
+		b.occupancy[s] = occ[s*cfg.Owners : (s+1)*cfg.Owners : (s+1)*cfg.Owners]
+		b.freeInSet[s] = int16(cfg.Ways)
+	}
+	return b
+}
+
+// index splits an address into set index and tag.
+func (b *baseCache) index(addr Addr) (set int, tag uint64) {
+	blk := uint64(addr) >> b.setShift
+	return int(blk & b.setMask), blk >> uint(bits.TrailingZeros(uint(len(b.sets))))
+}
+
+// lookup finds the way holding (set, tag), or -1.
+func (b *baseCache) lookup(set int, tag uint64) int {
+	for w, ln := range b.sets[set] {
+		if ln.valid && ln.tag == tag {
+			return w
+		}
+	}
+	return -1
+}
+
+// touch refreshes the LRU stamp of a way.
+func (b *baseCache) touch(set, way int) {
+	b.clock++
+	b.sets[set][way].stamp = b.clock
+}
+
+// freeWay returns an invalid way in the set, or -1.
+func (b *baseCache) freeWay(set int) int {
+	if b.freeInSet[set] == 0 {
+		return -1
+	}
+	for w, ln := range b.sets[set] {
+		if !ln.valid {
+			return w
+		}
+	}
+	return -1
+}
+
+// lruWay returns the least-recently-used way among those for which keep
+// returns true, or -1 when no way qualifies. A nil keep considers all
+// valid ways.
+func (b *baseCache) lruWay(set int, keep func(line) bool) int {
+	best := -1
+	var bestStamp uint64
+	for w, ln := range b.sets[set] {
+		if !ln.valid {
+			continue
+		}
+		if keep != nil && !keep(ln) {
+			continue
+		}
+		if best == -1 || ln.stamp < bestStamp {
+			best = w
+			bestStamp = ln.stamp
+		}
+	}
+	return best
+}
+
+// install places (tag, owner) into way, updating occupancy bookkeeping,
+// and returns the previous owner (or -1), whether a valid block was
+// displaced, and whether the displaced block was dirty (write-back).
+func (b *baseCache) install(set, way int, tag uint64, owner int) (victimOwner int, evicted, writeBack bool) {
+	ln := &b.sets[set][way]
+	victimOwner = -1
+	if ln.valid {
+		victimOwner = int(ln.owner)
+		evicted = true
+		writeBack = ln.dirty
+		if ln.dirty {
+			b.writeBacks++
+		}
+		b.occupancy[set][ln.owner]--
+		b.globalOcc[ln.owner]--
+	} else {
+		b.freeInSet[set]--
+	}
+	ln.tag = tag
+	ln.owner = int8(owner)
+	ln.valid = true
+	ln.dirty = false
+	b.occupancy[set][owner]++
+	b.globalOcc[owner]++
+	b.clock++
+	ln.stamp = b.clock
+	return victimOwner, evicted, writeBack
+}
+
+// markDirty sets a resident way's dirty bit (a write hit or a write
+// fill under write-allocate).
+func (b *baseCache) markDirty(set, way int) { b.sets[set][way].dirty = true }
+
+// WriteBacks returns the lifetime count of dirty evictions.
+func (b *baseCache) WriteBacks() int64 { return b.writeBacks }
+
+// record updates per-owner counters.
+func (b *baseCache) record(owner int, miss bool) {
+	b.ownerAcc[owner]++
+	b.totalAcc++
+	if miss {
+		b.ownerMiss[owner]++
+		b.totalMiss++
+	}
+}
+
+// Stats returns cumulative accesses and misses for owner.
+func (b *baseCache) Stats(owner int) (accesses, misses int64) {
+	return b.ownerAcc[owner], b.ownerMiss[owner]
+}
+
+// TotalStats returns cumulative accesses and misses across all owners.
+func (b *baseCache) TotalStats() (accesses, misses int64) {
+	return b.totalAcc, b.totalMiss
+}
+
+// ResetOwnerStats zeroes one owner's access/miss counters; contents and
+// the aggregate counters of other owners are untouched.
+func (b *baseCache) ResetOwnerStats(owner int) {
+	b.totalAcc -= b.ownerAcc[owner]
+	b.totalMiss -= b.ownerMiss[owner]
+	b.ownerAcc[owner] = 0
+	b.ownerMiss[owner] = 0
+}
+
+// Flush invalidates every block owned by owner, returning the number of
+// blocks dropped and the write-backs their dirty subset generated. The
+// OS issues this when a job leaves a core (context-switch realism) or
+// completes.
+func (b *baseCache) Flush(owner int) (blocks, writeBacks int64) {
+	for s := range b.sets {
+		for w := range b.sets[s] {
+			ln := &b.sets[s][w]
+			if !ln.valid || int(ln.owner) != owner {
+				continue
+			}
+			blocks++
+			if ln.dirty {
+				writeBacks++
+				b.writeBacks++
+			}
+			ln.valid = false
+			ln.dirty = false
+			b.occupancy[s][owner]--
+			b.freeInSet[s]++
+		}
+	}
+	b.globalOcc[owner] -= blocks
+	return blocks, writeBacks
+}
+
+// ResetStats zeroes all access/miss counters; contents are untouched.
+func (b *baseCache) ResetStats() {
+	for i := range b.ownerAcc {
+		b.ownerAcc[i] = 0
+		b.ownerMiss[i] = 0
+	}
+	b.totalAcc = 0
+	b.totalMiss = 0
+}
+
+// MissRatio returns misses/accesses for owner (0 when idle).
+func (b *baseCache) MissRatio(owner int) float64 {
+	if b.ownerAcc[owner] == 0 {
+		return 0
+	}
+	return float64(b.ownerMiss[owner]) / float64(b.ownerAcc[owner])
+}
+
+// Occupancy returns the number of valid blocks owned by owner.
+func (b *baseCache) Occupancy(owner int) int64 { return b.globalOcc[owner] }
+
+// Sets returns the number of sets.
+func (b *baseCache) Sets() int { return len(b.sets) }
+
+// Config returns the cache geometry.
+func (b *baseCache) Config() Config { return b.cfg }
+
+// LRU is a plain (unpartitioned) set-associative LRU cache. It models the
+// private L1 caches and serves as the unmanaged-L2 reference point.
+type LRU struct {
+	*baseCache
+}
+
+// NewLRU builds a plain LRU cache with the given geometry.
+func NewLRU(cfg Config) *LRU {
+	return &LRU{newBase(cfg)}
+}
+
+// Access performs one read access.
+func (c *LRU) Access(owner int, addr Addr) Result {
+	return c.access(owner, addr, false)
+}
+
+// Write performs one write access (write-allocate, write-back).
+func (c *LRU) Write(owner int, addr Addr) Result {
+	return c.access(owner, addr, true)
+}
+
+func (c *LRU) access(owner int, addr Addr, write bool) Result {
+	set, tag := c.index(addr)
+	if w := c.lookup(set, tag); w >= 0 {
+		c.touch(set, w)
+		if write {
+			c.markDirty(set, w)
+		}
+		c.record(owner, false)
+		return Result{Hit: true, Set: set, VictimOwner: -1}
+	}
+	c.record(owner, true)
+	w := c.freeWay(set)
+	if w < 0 {
+		w = c.lruWay(set, nil)
+	}
+	vo, ev, wb := c.install(set, w, tag, owner)
+	if write {
+		c.markDirty(set, w)
+	}
+	return Result{Set: set, VictimOwner: vo, Evicted: ev, WriteBack: wb}
+}
+
+var _ Interface = (*LRU)(nil)

@@ -1,0 +1,73 @@
+package cache
+
+// AddrStream produces a synthetic address stream, one block-granular
+// access at a time. Implementations live in internal/workload; the cache
+// package only consumes them.
+type AddrStream interface {
+	Next() Addr
+}
+
+// MissCurve holds a measured miss-ratio-vs-ways curve: Ratio[w] is the
+// steady-state miss ratio when the stream runs with w ways of the cache,
+// for w in 1..Ways. Ratio[0] is defined as 1 (no cache).
+type MissCurve struct {
+	Ratio []float64
+}
+
+// At returns the miss ratio at a way allocation, clamping out-of-range
+// requests to the measured ends.
+func (m MissCurve) At(ways int) float64 {
+	if len(m.Ratio) == 0 {
+		return 1
+	}
+	if ways < 0 {
+		ways = 0
+	}
+	if ways >= len(m.Ratio) {
+		ways = len(m.Ratio) - 1
+	}
+	return m.Ratio[ways]
+}
+
+// ProbeMissRatio measures the steady-state miss ratio of one stream at a
+// single way allocation: `warmup` accesses to populate a fresh
+// single-owner partitioned cache, then `measure` accesses counted.
+func ProbeMissRatio(cfg Config, st AddrStream, ways, warmup, measure int) float64 {
+	c := NewPartitioned(cfg)
+	c.SetTarget(0, ways)
+	c.SetClass(0, ClassReserved)
+	for i := 0; i < warmup; i++ {
+		c.Access(0, st.Next())
+	}
+	c.ResetStats()
+	for i := 0; i < measure; i++ {
+		c.Access(0, st.Next())
+	}
+	return c.MissRatio(0)
+}
+
+// ProbeMissCurve measures the miss ratio of the stream produced by mk at
+// every way allocation from 1 to cfg.Ways, by running a fresh
+// single-owner partitioned cache per allocation: `warmup` accesses to
+// populate, then `measure` accesses counted. mk must return a fresh,
+// deterministic stream each call so allocations are compared on the same
+// access sequence.
+func ProbeMissCurve(cfg Config, mk func() AddrStream, warmup, measure int) MissCurve {
+	curve := MissCurve{Ratio: make([]float64, cfg.Ways+1)}
+	curve.Ratio[0] = 1
+	for w := 1; w <= cfg.Ways; w++ {
+		c := NewPartitioned(cfg)
+		c.SetTarget(0, w)
+		c.SetClass(0, ClassReserved)
+		st := mk()
+		for i := 0; i < warmup; i++ {
+			c.Access(0, st.Next())
+		}
+		c.ResetStats()
+		for i := 0; i < measure; i++ {
+			c.Access(0, st.Next())
+		}
+		curve.Ratio[w] = c.MissRatio(0)
+	}
+	return curve
+}

@@ -1,0 +1,81 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestHierarchyBasics(t *testing.T) {
+	h := NewHierarchy(4, PaperL1(), PaperL2())
+	h.L2().SetTarget(0, 7)
+	h.L2().SetClass(0, ClassReserved)
+	a := Addr(0x1000)
+	r := h.Access(0, a)
+	if r.L1Hit {
+		t.Fatal("cold access hit L1")
+	}
+	if r.L2.Hit {
+		t.Fatal("cold access hit L2")
+	}
+	// Second touch hits in the L1 and never reaches the L2.
+	if r := h.Access(0, a); !r.L1Hit {
+		t.Fatal("warm access missed L1")
+	}
+	refs, l1m, l2m := h.Stats(0)
+	if refs != 2 || l1m != 1 || l2m != 1 {
+		t.Errorf("stats = (%d,%d,%d), want (2,1,1)", refs, l1m, l2m)
+	}
+	h.ResetStats()
+	if refs, _, _ := h.Stats(0); refs != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestHierarchyPrivateL1s(t *testing.T) {
+	h := NewHierarchy(2, PaperL1(), PaperL2())
+	a := Addr(0x4000)
+	h.Access(0, a)
+	// Core 1's private L1 must not contain core 0's line; the shared L2
+	// must.
+	r := h.Access(1, a)
+	if r.L1Hit {
+		t.Error("L1 is private; cross-core hit is a bug")
+	}
+	if !r.L2.Hit {
+		t.Error("shared L2 should hit on the second core's access")
+	}
+}
+
+func TestHierarchyConstructorValidation(t *testing.T) {
+	for _, cores := range []int{0, 5} { // paper L2 models 4 owners
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHierarchy(cores=%d) did not panic", cores)
+				}
+			}()
+			NewHierarchy(cores, PaperL1(), PaperL2())
+		}()
+	}
+}
+
+func TestHierarchyFilterRate(t *testing.T) {
+	// An 8 KB working set fits the 32 KB L1: after warmup, essentially
+	// every reference is filtered and the L2 sees nothing.
+	h := NewHierarchy(1, PaperL1(), PaperL2())
+	h.L2().SetTarget(0, 7)
+	h.L2().SetClass(0, ClassReserved)
+	rng := rand.New(rand.NewSource(5))
+	hot := 128 // blocks = 8 KB
+	for i := 0; i < 50_000; i++ {
+		h.Access(0, Addr(rng.Intn(hot)*64))
+	}
+	h.ResetStats()
+	for i := 0; i < 50_000; i++ {
+		h.Access(0, Addr(rng.Intn(hot)*64))
+	}
+	refs, l1m, _ := h.Stats(0)
+	if rate := float64(l1m) / float64(refs); rate > 0.001 {
+		t.Errorf("L1-resident set leaked %.4f of references to L2", rate)
+	}
+}

@@ -1,0 +1,258 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6–7). Each experiment returns a structured result and can
+// render itself as a text table whose rows/series correspond to the
+// published ones. The DESIGN.md per-experiment index maps each function
+// here to its paper artifact.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"cmpqos/internal/sim"
+	"cmpqos/internal/workload"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Engine selects table (default) or trace execution.
+	Engine sim.Engine
+	// JobInstr overrides instructions per job (0 = the engine default:
+	// the paper's 200 M for table runs, 8 M scaled for trace runs).
+	JobInstr int64
+	// Seed drives all pseudo-randomness.
+	Seed int64
+}
+
+// config builds a sim.Config for the options.
+func (o Options) config(p sim.Policy, w workload.Composition) sim.Config {
+	var cfg sim.Config
+	if o.Engine == sim.EngineTrace {
+		cfg = sim.TraceConfig(p, w)
+	} else {
+		cfg = sim.DefaultConfig(p, w)
+	}
+	if o.JobInstr > 0 {
+		cfg.JobInstr = o.JobInstr
+		// Keep the paper's 1% repartitioning granularity.
+		cfg.StealIntervalInstr = cfg.JobInstr / 100
+		if cfg.StealIntervalInstr < 1 {
+			cfg.StealIntervalInstr = 1
+		}
+	}
+	if o.Seed != 0 {
+		cfg.Seed = o.Seed
+	}
+	return cfg
+}
+
+// run executes one configuration or fails loudly.
+func run(cfg sim.Config) (*sim.Report, error) {
+	r, err := sim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return r.Run()
+}
+
+// Runner is a named experiment entry point for the CLI.
+type Runner struct {
+	Name  string
+	Paper string // which table/figure it regenerates
+	Run   func(o Options, w io.Writer) error
+}
+
+// Registry lists every experiment in paper order.
+func Registry() []Runner {
+	return []Runner{
+		{"fig1", "Figure 1: bzip2 instances vs IPC target", func(o Options, w io.Writer) error {
+			r, err := Fig1(o)
+			if err != nil {
+				return err
+			}
+			r.Render(w)
+			return nil
+		}},
+		{"fig3", "Figure 3: manual mode downgrade illustration", func(o Options, w io.Writer) error {
+			r, err := Fig3(o)
+			if err != nil {
+				return err
+			}
+			r.Render(w)
+			return nil
+		}},
+		{"fig4", "Figure 4: cache sensitivity classification", func(o Options, w io.Writer) error {
+			r, err := Fig4(o)
+			if err != nil {
+				return err
+			}
+			r.Render(w)
+			return nil
+		}},
+		{"table1", "Table 1: representative benchmark operating points", func(o Options, w io.Writer) error {
+			r, err := Table1(o)
+			if err != nil {
+				return err
+			}
+			r.Render(w)
+			return nil
+		}},
+		{"fig5", "Figure 5: deadline hit rate and throughput (single-benchmark)", func(o Options, w io.Writer) error {
+			r, err := Fig5(o)
+			if err != nil {
+				return err
+			}
+			r.Render(w)
+			return nil
+		}},
+		{"fig6", "Figure 6: wall-clock time per mode (bzip2)", func(o Options, w io.Writer) error {
+			r, err := Fig6(o)
+			if err != nil {
+				return err
+			}
+			r.Render(w)
+			return nil
+		}},
+		{"fig7", "Figure 7: execution trace All-Strict vs AutoDown (bzip2)", func(o Options, w io.Writer) error {
+			r, err := Fig7(o)
+			if err != nil {
+				return err
+			}
+			r.Render(w)
+			return nil
+		}},
+		{"fig8", "Figure 8: resource stealing slack sweep", func(o Options, w io.Writer) error {
+			r, err := Fig8(o)
+			if err != nil {
+				return err
+			}
+			r.Render(w)
+			return nil
+		}},
+		{"fig9", "Figure 9: mixed-benchmark workloads", func(o Options, w io.Writer) error {
+			r, err := Fig9(o)
+			if err != nil {
+				return err
+			}
+			r.Render(w)
+			return nil
+		}},
+		{"lac", "§7.5: LAC characterization", func(o Options, w io.Writer) error {
+			r, err := LAC(o)
+			if err != nil {
+				return err
+			}
+			r.Render(w)
+			return nil
+		}},
+		{"cluster", "Figure 2 environment: GAC scaling over CMP nodes", func(o Options, w io.Writer) error {
+			r, err := Cluster(o)
+			if err != nil {
+				return err
+			}
+			r.Render(w)
+			return nil
+		}},
+		{"frag", "§7.1 decomposition: external vs internal fragmentation", func(o Options, w io.Writer) error {
+			r, err := Frag(o)
+			if err != nil {
+				return err
+			}
+			r.Render(w)
+			return nil
+		}},
+		{"related", "§2 comparison: UCP/Fair optimizers vs QoS reservation", func(o Options, w io.Writer) error {
+			r, err := Related(o)
+			if err != nil {
+				return err
+			}
+			r.Render(w)
+			return nil
+		}},
+		{"geometry", "Extension: L2 geometry sensitivity sweep", func(o Options, w io.Writer) error {
+			r, err := Geometry(o)
+			if err != nil {
+				return err
+			}
+			r.Render(w)
+			return nil
+		}},
+		{"seeds", "Robustness: Figure 5 metrics across five seeds", func(o Options, w io.Writer) error {
+			r, err := Seeds(o)
+			if err != nil {
+				return err
+			}
+			r.Render(w)
+			return nil
+		}},
+		{"engines", "Validation: table vs trace engine agreement", func(o Options, w io.Writer) error {
+			r, err := Engines(o)
+			if err != nil {
+				return err
+			}
+			r.Render(w)
+			return nil
+		}},
+		{"sweep-slack", "Extension: Mix-1 slack sweep (favourable donor)", func(o Options, w io.Writer) error {
+			r, err := SweepSlack(o)
+			if err != nil {
+				return err
+			}
+			r.Render(w)
+			return nil
+		}},
+		{"sweep-pressure", "Extension: arrival-pressure robustness sweep", func(o Options, w io.Writer) error {
+			r, err := SweepPressure(o)
+			if err != nil {
+				return err
+			}
+			r.Render(w)
+			return nil
+		}},
+		{"ablation-interval", "Ablation: resource-stealing repartitioning interval", func(o Options, w io.Writer) error {
+			r, err := Interval(o)
+			if err != nil {
+				return err
+			}
+			r.Render(w)
+			return nil
+		}},
+		{"ablation-partition", "Ablation: per-set vs global partitioning variance (§4.1)", func(o Options, w io.Writer) error {
+			r := AblationPartition(o)
+			r.Render(w)
+			return nil
+		}},
+		{"ablation-sampling", "Ablation: shadow-tag set-sampling accuracy (§4.3)", func(o Options, w io.Writer) error {
+			r := AblationSampling(o)
+			r.Render(w)
+			return nil
+		}},
+	}
+}
+
+// Lookup finds an experiment by name.
+func Lookup(name string) (Runner, bool) {
+	for _, r := range Registry() {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}
+
+// Names returns all experiment names, sorted.
+func Names() []string {
+	var out []string
+	for _, r := range Registry() {
+		out = append(out, r.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// pct formats a ratio as a percentage.
+func pct(x float64) string { return fmt.Sprintf("%.0f%%", x*100) }
+
+// mcycles formats cycles in millions.
+func mcycles(c int64) string { return fmt.Sprintf("%.0fM", float64(c)/1e6) }

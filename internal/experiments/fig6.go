@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"cmpqos/internal/sim"
+	"cmpqos/internal/stats"
+	"cmpqos/internal/workload"
+)
+
+// Fig6Row is one (configuration, mode) wall-clock candle.
+type Fig6Row struct {
+	Policy sim.Policy
+	Mode   string
+	Wall   stats.Summary
+}
+
+// Fig6Result reproduces Figure 6: average (with min/max candles)
+// wall-clock time of jobs per execution mode for the bzip2 workload, in
+// every configuration. The paper's observations: Strict jobs are short
+// and almost constant; Elastic slightly longer; Opportunistic longer and
+// variable; AutoDown much more variable but still deadline-safe;
+// EqualPart worst in both average and variation.
+type Fig6Result struct {
+	Rows []Fig6Row
+}
+
+// Fig6 runs the five configurations on the bzip2 workload.
+func Fig6(o Options) (*Fig6Result, error) {
+	res := &Fig6Result{}
+	for _, pol := range sim.Policies() {
+		rep, err := run(o.config(pol, workload.Single("bzip2")))
+		if err != nil {
+			return nil, fmt.Errorf("fig6 %v: %w", pol, err)
+		}
+		var keys []string
+		for k := range rep.WallClockByMode {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			res.Rows = append(res.Rows, Fig6Row{Policy: pol, Mode: k, Wall: *rep.WallClockByMode[k]})
+		}
+	}
+	return res, nil
+}
+
+// Render prints the candles.
+func (r *Fig6Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "Figure 6 — wall-clock time per execution mode, bzip2 workload")
+	fmt.Fprintln(w, "configuration          mode            n   avg(Mcyc)   min(Mcyc)   max(Mcyc)  spread")
+	for _, row := range r.Rows {
+		spread := 0.0
+		if row.Wall.Mean() > 0 {
+			spread = (row.Wall.Max() - row.Wall.Min()) / row.Wall.Mean()
+		}
+		fmt.Fprintf(w, "%-22s %-14s %3d  %10.1f  %10.1f  %10.1f  %5.1f%%\n",
+			row.Policy, row.Mode, row.Wall.Count(),
+			row.Wall.Mean()/1e6, row.Wall.Min()/1e6, row.Wall.Max()/1e6, spread*100)
+	}
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"cmpqos/internal/sim"
+	"cmpqos/internal/workload"
+)
+
+// Fig8Row is one slack point of the Figure 8 sweep.
+type Fig8Row struct {
+	SlackPct     float64
+	MissIncrease float64
+	CPIIncrease  float64
+	OppWallClock float64 // mean, cycles
+	OppSpeedup   float64 // vs stealing disabled
+}
+
+// Fig8Result reproduces Figure 8: (a) the Elastic jobs' miss-rate
+// increase tracks the allowed slack X while their CPI increase stays at
+// roughly a third to a half of it; (b) Opportunistic jobs speed up with
+// X, with diminishing returns at large X.
+type Fig8Result struct {
+	Rows         []Fig8Row
+	BaselineWall float64 // opportunistic mean wall-clock with stealing off
+}
+
+// Fig8 sweeps X over the Hybrid-2 bzip2 workload.
+func Fig8(o Options) (*Fig8Result, error) {
+	comp := workload.Single("bzip2")
+	base := o.config(sim.Hybrid2, comp)
+	base.DisableStealing = true
+	baseRep, err := run(base)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig8Result{BaselineWall: baseRep.OppWallClock.Mean()}
+	for _, x := range []float64{0.01, 0.02, 0.05, 0.10, 0.15, 0.20} {
+		cfg := o.config(sim.Hybrid2, comp)
+		cfg.ElasticSlack = x
+		rep, err := run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fig8 X=%v: %w", x, err)
+		}
+		row := Fig8Row{
+			SlackPct:     x * 100,
+			MissIncrease: rep.ElasticMissIncrease,
+			CPIIncrease:  rep.ElasticCPIIncrease,
+			OppWallClock: rep.OppWallClock.Mean(),
+		}
+		if row.OppWallClock > 0 {
+			row.OppSpeedup = res.BaselineWall / row.OppWallClock
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render prints both panels.
+func (r *Fig8Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "Figure 8(a) — Elastic(X) slack vs miss-rate and CPI increase (bzip2, Hybrid-2)")
+	fmt.Fprintln(w, "X(slack)   miss-increase   CPI-increase   CPI/miss")
+	for _, row := range r.Rows {
+		ratio := 0.0
+		if row.MissIncrease > 0 {
+			ratio = row.CPIIncrease / row.MissIncrease
+		}
+		fmt.Fprintf(w, "%7.0f%%  %13.1f%%  %12.1f%%  %9.2f\n",
+			row.SlackPct, row.MissIncrease*100, row.CPIIncrease*100, ratio)
+	}
+	fmt.Fprintf(w, "\nFigure 8(b) — Opportunistic wall-clock vs X (stealing off: %.1f Mcyc)\n",
+		r.BaselineWall/1e6)
+	fmt.Fprintln(w, "X(slack)   opp-wall(Mcyc)   speedup-vs-no-stealing")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%7.0f%%  %15.1f  %22.2f\n",
+			row.SlackPct, row.OppWallClock/1e6, row.OppSpeedup)
+	}
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"html/template"
+	"io"
+	"time"
+)
+
+// htmlPage is the single-file report template: one section per
+// experiment with its text rendition preserved verbatim.
+var htmlPage = template.Must(template.New("report").Parse(`<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>cmpqos — MICRO 2007 QoS framework reproduction</title>
+<style>
+body { font-family: Georgia, serif; max-width: 72rem; margin: 2rem auto; padding: 0 1rem; color: #1a1a1a; }
+h1 { border-bottom: 2px solid #444; padding-bottom: .3rem; }
+h2 { margin-top: 2.2rem; color: #333; }
+pre { background: #f6f6f2; border: 1px solid #ddd; border-radius: 4px; padding: .8rem 1rem; overflow-x: auto; font-size: .82rem; line-height: 1.35; }
+p.meta { color: #666; font-size: .9rem; }
+nav a { margin-right: 1rem; font-size: .9rem; }
+.err { color: #a00; }
+</style>
+</head>
+<body>
+<h1>cmpqos — reproduction report</h1>
+<p class="meta">"A Framework for Providing Quality of Service in Chip Multi-Processors"
+(Guo, Solihin, Zhao, Iyer — MICRO 2007) · engine: {{.Engine}} ·
+instructions/job: {{.Instr}} · generated in {{.Elapsed}}</p>
+<nav>{{range .Sections}}<a href="#{{.Name}}">{{.Name}}</a> {{end}}</nav>
+{{range .Sections}}
+<h2 id="{{.Name}}">{{.Name}} — {{.Title}}</h2>
+{{if .Err}}<p class="err">failed: {{.Err}}</p>{{else}}<pre>{{.Body}}</pre>{{end}}
+{{end}}
+</body>
+</html>
+`))
+
+type htmlSection struct {
+	Name  string
+	Title string
+	Body  string
+	Err   string
+}
+
+type htmlData struct {
+	Engine   string
+	Instr    string
+	Elapsed  string
+	Sections []htmlSection
+}
+
+// WriteHTML runs every registered experiment and writes a single-file
+// HTML report (the `qossim -html` output).
+func WriteHTML(w io.Writer, o Options) error {
+	start := time.Now()
+	data := htmlData{Engine: o.Engine.String()}
+	if o.JobInstr > 0 {
+		data.Instr = fmt.Sprintf("%d", o.JobInstr)
+	} else {
+		data.Instr = "engine default"
+	}
+	for _, r := range Registry() {
+		var buf bytes.Buffer
+		sec := htmlSection{Name: r.Name, Title: r.Paper}
+		if err := r.Run(o, &buf); err != nil {
+			sec.Err = err.Error()
+		} else {
+			sec.Body = buf.String()
+		}
+		data.Sections = append(data.Sections, sec)
+	}
+	data.Elapsed = time.Since(start).Round(time.Millisecond).String()
+	return htmlPage.Execute(w, data)
+}

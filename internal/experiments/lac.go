@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"cmpqos/internal/sim"
+	"cmpqos/internal/workload"
+)
+
+// LACRow is one arrival-pressure point of the §7.5 characterization.
+type LACRow struct {
+	ProbesPerTw float64
+	Probes      int64
+	Occupancy   float64
+	Total       int64
+}
+
+// LACResult reproduces §7.5: the Local Admission Controller's occupancy
+// stays below 1% of the workload wall-clock even as the probe rate
+// scales, because the admission test is a simple scan of a short
+// reservation list.
+type LACResult struct {
+	Rows []LACRow
+}
+
+// LAC sweeps the arrival pressure (×0.25, ×1, ×4 the paper's 512 probes
+// per tw).
+func LAC(o Options) (*LACResult, error) {
+	res := &LACResult{}
+	for _, probes := range []float64{128, 512, 2048} {
+		cfg := o.config(sim.AllStrict, workload.Single("bzip2"))
+		cfg.ProbesPerTw = probes
+		rep, err := run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("lac probes=%v: %w", probes, err)
+		}
+		res.Rows = append(res.Rows, LACRow{
+			ProbesPerTw: probes,
+			Probes:      rep.LACProbes,
+			Occupancy:   rep.LACOccupancy,
+			Total:       rep.TotalCycles,
+		})
+	}
+	return res, nil
+}
+
+// Render prints the characterization.
+func (r *LACResult) Render(w io.Writer) {
+	fmt.Fprintln(w, "§7.5 — Local Admission Controller characterization (All-Strict, bzip2)")
+	fmt.Fprintln(w, "probes-per-tw   admission-tests   workload(Mcyc)   LAC occupancy")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%13.0f  %16d  %15s  %13.3f%%\n",
+			row.ProbesPerTw, row.Probes, mcycles(row.Total), row.Occupancy*100)
+	}
+	fmt.Fprintln(w, "(paper: occupancy below 1% of each workload's wall-clock time)")
+}

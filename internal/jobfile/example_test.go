@@ -1,0 +1,26 @@
+package jobfile_test
+
+import (
+	"fmt"
+	"strings"
+
+	"cmpqos/internal/jobfile"
+)
+
+// Parsing the LSBatch-style job description the paper grounds its RUM
+// targets in (§3.2).
+func ExampleParse() {
+	spec, err := jobfile.Parse(strings.NewReader(`
+node count=2 cores=4 ways=16
+job name=db bench=bzip2 mode=strict preset=medium tw=500ms deadline=2.0
+`))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	j := spec.Jobs[0]
+	fmt.Printf("%d nodes; job %s: %s, %v, tw=%dms\n",
+		spec.NodeCount, j.Name, j.Mode, j.Resources, j.TwNS/1e6)
+	// Output:
+	// 2 nodes; job db: Strict, {cores:1 ways:7}, tw=500ms
+}

@@ -1,0 +1,318 @@
+package qos
+
+import "fmt"
+
+// Request is a job's admission request: who is asking, for what
+// resources, how strictly, and when.
+type Request struct {
+	JobID   int
+	Target  Target
+	Mode    Mode
+	Arrival int64 // ta, cycles
+}
+
+// Decision is the admission controller's answer.
+type Decision struct {
+	Accepted bool
+	// Start is when the job's reserved timeslot begins (reserved modes
+	// only). For non-downgraded jobs this is also when the job should
+	// start running.
+	Start int64
+	// ReservationID identifies the timeslot hold, 0 when none was made.
+	ReservationID int
+	// AutoDowngraded reports that a Strict job was transparently
+	// downgraded: it runs Opportunistically from arrival and must switch
+	// back to Strict at SwitchBack (= Start of its reservation) unless
+	// it completes first (§3.4).
+	AutoDowngraded bool
+	SwitchBack     int64
+	// Reason explains a rejection.
+	Reason string
+}
+
+// LACOption configures a Local Admission Controller.
+type LACOption func(*LAC)
+
+// WithAutoDowngrade enables transparent automatic mode downgrade of
+// Strict jobs that have deadline slack (the All-Strict+AutoDown
+// configuration of Table 2).
+func WithAutoDowngrade() LACOption {
+	return func(l *LAC) { l.autoDowngrade = true }
+}
+
+// WithOpportunisticPerCore bounds how many Opportunistic jobs the LAC
+// will pin per core not assigned to reserved jobs (§5 allows several).
+func WithOpportunisticPerCore(n int) LACOption {
+	return func(l *LAC) { l.oppPerCore = n }
+}
+
+// WithAutoDowngradeMinSlack sets the minimum relative deadline slack
+// ((td−ta−tw)/tw) a Strict job must have before the LAC automatically
+// downgrades it. Table 2's All-Strict+AutoDown downgrades only jobs with
+// moderate or relaxed deadlines, i.e. slack ≥ 0.5.
+func WithAutoDowngradeMinSlack(frac float64) LACOption {
+	return func(l *LAC) { l.minAutoSlack = frac }
+}
+
+// LAC is the per-CMP Local Admission Controller of §5: a user-level
+// FCFS scheduler holding a reservation timeline over the node's core and
+// cache-way capacity. Jobs are accepted only when their (convertible)
+// QoS target fits a timeslot before their deadline; Opportunistic jobs
+// are accepted whenever spare, unreserved capacity exists for them now.
+type LAC struct {
+	timeline      *Timeline
+	autoDowngrade bool
+	minAutoSlack  float64
+	oppPerCore    int
+	oppLive       int
+	resByJob      map[int][]int
+
+	// Modeled controller occupancy (§7.5): the LAC is a user-level
+	// program whose admission tests and scheduling cost cycles
+	// proportional to the live reservation count.
+	probeBaseCycles  int64
+	probePerResCycle int64
+	overheadCycles   int64
+	probes           int64
+	admits           int64
+	rejects          int64
+}
+
+// NewLAC builds a Local Admission Controller for a node with the given
+// capacity (for the paper's node: 4 cores, 16 ways).
+func NewLAC(capacity ResourceVector, opts ...LACOption) *LAC {
+	l := &LAC{
+		timeline:         NewTimeline(capacity),
+		oppPerCore:       4,
+		resByJob:         make(map[int][]int),
+		probeBaseCycles:  2000,
+		probePerResCycle: 200,
+	}
+	for _, o := range opts {
+		o(l)
+	}
+	return l
+}
+
+// Timeline exposes the reservation timeline for diagnostics and trace
+// rendering.
+func (l *LAC) Timeline() *Timeline { return l.timeline }
+
+// charge accrues the modeled controller occupancy for one admission test.
+func (l *LAC) charge() {
+	l.probes++
+	l.overheadCycles += l.probeBaseCycles + l.probePerResCycle*int64(l.timeline.Len())
+}
+
+// OverheadCycles returns the cycles the modeled LAC has spent on
+// admission tests and scheduling so far.
+func (l *LAC) OverheadCycles() int64 { return l.overheadCycles }
+
+// Occupancy returns the LAC's modeled occupancy as a fraction of the
+// given wall-clock cycles (§7.5 reports < 1%).
+func (l *LAC) Occupancy(wallClockCycles int64) float64 {
+	if wallClockCycles <= 0 {
+		return 0
+	}
+	return float64(l.overheadCycles) / float64(wallClockCycles)
+}
+
+// Counters returns (probes, admits, rejects) for characterization.
+func (l *LAC) Counters() (probes, admits, rejects int64) {
+	return l.probes, l.admits, l.rejects
+}
+
+// Probe answers whether a request could be accepted, without committing
+// anything. The GAC uses this to locate a willing node.
+func (l *LAC) Probe(req Request) Decision {
+	return l.decide(req, false)
+}
+
+// Admit runs the admission test and, on acceptance, commits the
+// reservation (reserved modes) or registers the job (Opportunistic).
+func (l *LAC) Admit(req Request) Decision {
+	return l.decide(req, true)
+}
+
+func (l *LAC) decide(req Request, commit bool) Decision {
+	l.charge()
+	reject := func(reason string) Decision {
+		if commit {
+			l.rejects++
+		}
+		return Decision{Reason: reason}
+	}
+	if !req.Target.Convertible() {
+		// §3.2: without convertibility there is no supply-vs-demand
+		// comparison, hence no admission control, hence no QoS.
+		return reject(ErrNotConvertible.Error())
+	}
+	rum, ok := req.Target.(RUM)
+	if !ok {
+		return reject("qos: convertible target must be a RUM")
+	}
+	if err := rum.Validate(req.Arrival); err != nil {
+		return reject(err.Error())
+	}
+	vec := rum.Resources
+	if !vec.Fits(l.timeline.Capacity()) {
+		return reject(fmt.Sprintf("qos: demand %v exceeds node capacity %v",
+			vec, l.timeline.Capacity()))
+	}
+
+	switch req.Mode.Kind {
+	case KindOpportunistic:
+		// Always accepted if there are spare resources not already
+		// taken up by Strict/Elastic jobs: at least one core free of
+		// reservations right now, with room under the per-core pin cap.
+		avail := l.timeline.AvailableAt(req.Arrival)
+		if avail.Cores < 1 {
+			return reject("qos: no core free of reserved jobs for opportunistic work")
+		}
+		if l.oppLive >= avail.Cores*l.oppPerCore {
+			return reject("qos: opportunistic pin cap reached")
+		}
+		if commit {
+			l.oppLive++
+			l.admits++
+		}
+		return Decision{Accepted: true, Start: req.Arrival}
+
+	case KindStrict:
+		if l.autoDowngrade && rum.HasTimeslot() && rum.Deadline != 0 {
+			slack := float64((rum.Deadline-req.Arrival)-rum.MaxWallClock) / float64(rum.MaxWallClock)
+			if _, ok := OpportunisticWindow(req.Arrival, rum.MaxWallClock, rum.Deadline); ok && slack >= l.minAutoSlack {
+				// Automatic downgrade: reserve the timeslot as late as
+				// possible before the deadline; the job runs
+				// Opportunistically until the slot begins.
+				if start, ok := l.timeline.LatestFit(vec, req.Arrival, rum.MaxWallClock, rum.Deadline); ok {
+					d := Decision{Accepted: true, Start: start, AutoDowngraded: true, SwitchBack: start}
+					if commit {
+						d.ReservationID = l.reserve(req.JobID, vec, start, rum.MaxWallClock)
+					}
+					return d
+				}
+				return reject("qos: no timeslot for auto-downgraded job")
+			}
+		}
+		return l.reserveEarliest(req, vec, rum.MaxWallClock, rum.Deadline, commit)
+
+	case KindElastic:
+		dur := req.Mode.ReservationLength(rum.MaxWallClock)
+		if dur == 0 {
+			return reject("qos: elastic mode requires a timeslot resource")
+		}
+		return l.reserveEarliest(req, vec, dur, rum.Deadline, commit)
+	}
+	return reject(fmt.Sprintf("qos: unknown mode %v", req.Mode))
+}
+
+// reserveEarliest places an earliest-fit reservation. Jobs without a
+// timeslot resource (tw == 0) hold resources forever: the reservation is
+// made effectively unbounded (§3.2).
+func (l *LAC) reserveEarliest(req Request, vec ResourceVector, dur, deadline int64, commit bool) Decision {
+	if dur == 0 {
+		dur = foreverCycles
+	}
+	start, ok := l.timeline.EarliestFit(vec, req.Arrival, dur, deadline)
+	if !ok {
+		if commit {
+			l.rejects++
+		}
+		return Decision{Reason: "qos: no feasible timeslot before deadline"}
+	}
+	d := Decision{Accepted: true, Start: start}
+	if commit {
+		d.ReservationID = l.reserve(req.JobID, vec, start, dur)
+	}
+	return d
+}
+
+// foreverCycles stands in for an unbounded reservation; at 2 GHz it is
+// about 52 days — far beyond any simulated horizon.
+const foreverCycles = int64(1) << 53
+
+func (l *LAC) reserve(jobID int, vec ResourceVector, start, dur int64) int {
+	id := l.timeline.Reserve(jobID, vec, start, dur)
+	l.resByJob[jobID] = append(l.resByJob[jobID], id)
+	l.admits++
+	return id
+}
+
+// Complete tells the LAC a job finished at time now: its remaining
+// reservations are truncated (reclaimed) so future jobs can be accepted
+// earlier, and opportunistic bookkeeping is released.
+func (l *LAC) Complete(jobID int, mode Mode, now int64) {
+	if mode.Kind == KindOpportunistic {
+		if l.oppLive > 0 {
+			l.oppLive--
+		}
+	}
+	for _, id := range l.resByJob[jobID] {
+		l.timeline.TruncateAt(id, now)
+	}
+	delete(l.resByJob, jobID)
+	l.timeline.Prune(now)
+}
+
+// GAC is the Global Admission Controller of §3.1: it probes each CMP
+// node's LAC and admits the job at the node offering the earliest start,
+// rejecting (or letting the caller negotiate) when no node can satisfy
+// the target.
+type GAC struct {
+	nodes []*LAC
+}
+
+// NewGAC builds a GAC over the given nodes.
+func NewGAC(nodes ...*LAC) *GAC {
+	if len(nodes) == 0 {
+		panic("qos: GAC needs at least one node")
+	}
+	return &GAC{nodes: nodes}
+}
+
+// Nodes returns the number of managed nodes.
+func (g *GAC) Nodes() int { return len(g.nodes) }
+
+// Submit probes every node and admits the request at the node with the
+// earliest feasible start. It returns the chosen node index and the
+// decision; node == -1 on global rejection.
+func (g *GAC) Submit(req Request) (node int, dec Decision) {
+	best := -1
+	var bestDec Decision
+	for i, lac := range g.nodes {
+		d := lac.Probe(req)
+		if !d.Accepted {
+			continue
+		}
+		if best == -1 || d.Start < bestDec.Start {
+			best, bestDec = i, d
+		}
+	}
+	if best == -1 {
+		return -1, Decision{Reason: "qos: no node can satisfy the QoS target"}
+	}
+	return best, g.nodes[best].Admit(req)
+}
+
+// SubmitOrNegotiate is Submit plus the §3.1 negotiation loop: when the
+// requested mode is rejected everywhere, it retries with progressively
+// weaker modes (Strict → Elastic(maxSlack) → Opportunistic) and reports
+// the mode that was finally accepted.
+func (g *GAC) SubmitOrNegotiate(req Request, maxSlack float64) (node int, finalMode Mode, dec Decision) {
+	modes := []Mode{req.Mode}
+	if req.Mode.Kind == KindStrict && maxSlack > 0 {
+		modes = append(modes, Elastic(maxSlack))
+	}
+	if req.Mode.Kind != KindOpportunistic {
+		modes = append(modes, Opportunistic())
+	}
+	for _, m := range modes {
+		r := req
+		r.Mode = m
+		if n, d := g.Submit(r); d.Accepted {
+			return n, m, d
+		}
+	}
+	return -1, req.Mode, Decision{Reason: "qos: negotiation exhausted all modes"}
+}

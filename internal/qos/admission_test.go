@@ -1,0 +1,254 @@
+package qos
+
+import (
+	"strings"
+	"testing"
+)
+
+func medRUM(arrival, tw int64, deadlineFactor float64) RUM {
+	r := RUM{Resources: PresetMedium(), MaxWallClock: tw}
+	if deadlineFactor > 0 {
+		r.Deadline = arrival + int64(float64(tw)*deadlineFactor)
+	}
+	return r
+}
+
+func TestLACRejectsNonConvertibleTargets(t *testing.T) {
+	// The framework's central claim (§3.2): OPM/RPM targets cannot pass
+	// admission control because supply vs demand cannot be compared.
+	l := NewLAC(nodeCap())
+	for _, tgt := range []Target{OPM{IPC: 0.25}, RPM{MissRate: 0.05}} {
+		d := l.Admit(Request{JobID: 1, Target: tgt, Mode: Strict()})
+		if d.Accepted {
+			t.Errorf("%T target was accepted", tgt)
+		}
+		if !strings.Contains(d.Reason, "not convertible") {
+			t.Errorf("%T rejection reason = %q", tgt, d.Reason)
+		}
+	}
+}
+
+func TestLACStrictAdmission(t *testing.T) {
+	l := NewLAC(nodeCap())
+	tw := int64(1000)
+	// First two medium jobs start immediately; the third waits for a
+	// slot; a third job with a tight deadline is rejected.
+	d1 := l.Admit(Request{JobID: 1, Target: medRUM(0, tw, 3), Mode: Strict(), Arrival: 0})
+	d2 := l.Admit(Request{JobID: 2, Target: medRUM(0, tw, 3), Mode: Strict(), Arrival: 0})
+	if !d1.Accepted || !d2.Accepted || d1.Start != 0 || d2.Start != 0 {
+		t.Fatalf("first two jobs should start at 0: %+v %+v", d1, d2)
+	}
+	dTight := l.Admit(Request{JobID: 3, Target: medRUM(0, tw, 1.05), Mode: Strict(), Arrival: 0})
+	if dTight.Accepted {
+		t.Fatal("third tight-deadline job must be rejected (no slot before td)")
+	}
+	dMod := l.Admit(Request{JobID: 4, Target: medRUM(0, tw, 3), Mode: Strict(), Arrival: 0})
+	if !dMod.Accepted || dMod.Start != tw {
+		t.Fatalf("third job with slack should start at %d: %+v", tw, dMod)
+	}
+	_, admits, rejects := l.Counters()
+	if admits != 3 || rejects != 1 {
+		t.Errorf("admits/rejects = %d/%d, want 3/1", admits, rejects)
+	}
+}
+
+func TestLACElasticReservesLonger(t *testing.T) {
+	l := NewLAC(nodeCap())
+	tw := int64(1000)
+	d := l.Admit(Request{JobID: 1, Target: medRUM(0, tw, 3), Mode: Elastic(0.05), Arrival: 0})
+	if !d.Accepted {
+		t.Fatal(d.Reason)
+	}
+	r, ok := l.Timeline().Get(d.ReservationID)
+	if !ok {
+		t.Fatal("reservation missing")
+	}
+	if r.End-r.Start != 1050 {
+		t.Errorf("elastic reservation length = %d, want tw·1.05 = 1050", r.End-r.Start)
+	}
+	// Elastic without a timeslot resource is rejected.
+	d2 := l.Admit(Request{JobID: 2, Target: RUM{Resources: PresetMedium()}, Mode: Elastic(0.05)})
+	if d2.Accepted {
+		t.Error("elastic without timeslot must be rejected")
+	}
+}
+
+func TestLACOpportunisticAdmission(t *testing.T) {
+	l := NewLAC(nodeCap(), WithOpportunisticPerCore(2))
+	tw := int64(1000)
+	// Two reserved jobs leave two cores free: up to 4 opportunistic jobs.
+	l.Admit(Request{JobID: 1, Target: medRUM(0, tw, 3), Mode: Strict(), Arrival: 0})
+	l.Admit(Request{JobID: 2, Target: medRUM(0, tw, 3), Mode: Strict(), Arrival: 0})
+	for i := 0; i < 4; i++ {
+		d := l.Admit(Request{JobID: 10 + i, Target: RUM{Resources: PresetMedium(), MaxWallClock: tw}, Mode: Opportunistic(), Arrival: 0})
+		if !d.Accepted {
+			t.Fatalf("opportunistic job %d rejected: %s", i, d.Reason)
+		}
+	}
+	d := l.Admit(Request{JobID: 20, Target: RUM{Resources: PresetMedium(), MaxWallClock: tw}, Mode: Opportunistic(), Arrival: 0})
+	if d.Accepted {
+		t.Error("opportunistic pin cap must reject the fifth job")
+	}
+	// Completion frees a pin slot.
+	l.Complete(10, Opportunistic(), 500)
+	d = l.Admit(Request{JobID: 21, Target: RUM{Resources: PresetMedium(), MaxWallClock: tw}, Mode: Opportunistic(), Arrival: 500})
+	if !d.Accepted {
+		t.Errorf("opportunistic job after completion rejected: %s", d.Reason)
+	}
+}
+
+func TestLACOpportunisticNeedsSpareCore(t *testing.T) {
+	l := NewLAC(ResourceVector{Cores: 1, CacheWays: 16})
+	tw := int64(1000)
+	l.Admit(Request{JobID: 1, Target: RUM{Resources: ResourceVector{Cores: 1, CacheWays: 7}, MaxWallClock: tw, Deadline: 3 * tw}, Mode: Strict(), Arrival: 0})
+	d := l.Admit(Request{JobID: 2, Target: RUM{Resources: PresetSmall(), MaxWallClock: tw}, Mode: Opportunistic(), Arrival: 0})
+	if d.Accepted {
+		t.Error("opportunistic job with no unreserved core must be rejected")
+	}
+}
+
+func TestLACAutoDowngrade(t *testing.T) {
+	l := NewLAC(nodeCap(), WithAutoDowngrade())
+	tw := int64(1000)
+	// Moderate deadline (2·tw): downgradable; the reservation is placed
+	// as late as possible: [td−tw, td].
+	d := l.Admit(Request{JobID: 1, Target: medRUM(0, tw, 2), Mode: Strict(), Arrival: 0})
+	if !d.Accepted || !d.AutoDowngraded {
+		t.Fatalf("expected auto downgrade: %+v", d)
+	}
+	if d.SwitchBack != 1000 || d.Start != 1000 {
+		t.Errorf("switch-back = %d, want td−tw = 1000", d.SwitchBack)
+	}
+	r, _ := l.Timeline().Get(d.ReservationID)
+	if r.Start != 1000 || r.End != 2000 {
+		t.Errorf("reservation = [%d,%d), want [1000,2000)", r.Start, r.End)
+	}
+	// Tight deadline (1.05·tw has slack 0.05·tw > 0): still downgradable
+	// but with a tiny opportunistic window.
+	d2 := l.Admit(Request{JobID: 2, Target: medRUM(0, tw, 1.05), Mode: Strict(), Arrival: 0})
+	if !d2.Accepted || !d2.AutoDowngraded {
+		t.Fatalf("tight job: %+v", d2)
+	}
+	if d2.SwitchBack != 50 {
+		t.Errorf("tight switch-back = %d, want 50", d2.SwitchBack)
+	}
+	// Early completion reclaims the reservation (§3.4).
+	l.Complete(1, Strict(), 500)
+	d3 := l.Admit(Request{JobID: 3, Target: medRUM(500, tw, 3), Mode: Strict(), Arrival: 500})
+	if !d3.Accepted {
+		t.Fatalf("job after reclaim rejected: %s", d3.Reason)
+	}
+}
+
+func TestLACNoTimeslotHoldsForever(t *testing.T) {
+	l := NewLAC(nodeCap())
+	d := l.Admit(Request{JobID: 1, Target: RUM{Resources: PresetMedium()}, Mode: Strict(), Arrival: 0})
+	if !d.Accepted {
+		t.Fatal(d.Reason)
+	}
+	r, _ := l.Timeline().Get(d.ReservationID)
+	if r.End-r.Start < int64(1)<<50 {
+		t.Errorf("no-timeslot reservation should be effectively unbounded, got %d", r.End-r.Start)
+	}
+}
+
+func TestLACOverheadModel(t *testing.T) {
+	l := NewLAC(nodeCap())
+	tw := int64(10_000_000)
+	for i := 0; i < 20; i++ {
+		l.Admit(Request{JobID: i, Target: medRUM(0, tw, 3), Mode: Strict(), Arrival: 0})
+	}
+	if l.OverheadCycles() == 0 {
+		t.Fatal("no overhead accrued")
+	}
+	// §7.5: occupancy is below 1% of any realistic workload wall-clock.
+	if occ := l.Occupancy(40 * tw); occ >= 0.01 {
+		t.Errorf("LAC occupancy = %v, want < 1%%", occ)
+	}
+	if l.Occupancy(0) != 0 {
+		t.Error("occupancy of zero wall-clock must be 0")
+	}
+}
+
+func TestLACDemandExceedingCapacity(t *testing.T) {
+	l := NewLAC(nodeCap())
+	d := l.Admit(Request{JobID: 1, Target: RUM{Resources: ResourceVector{Cores: 8, CacheWays: 4}, MaxWallClock: 10}, Mode: Strict()})
+	if d.Accepted {
+		t.Error("demand beyond node capacity must be rejected")
+	}
+}
+
+func TestProbeHasNoSideEffects(t *testing.T) {
+	l := NewLAC(nodeCap())
+	tw := int64(1000)
+	d := l.Probe(Request{JobID: 1, Target: medRUM(0, tw, 3), Mode: Strict(), Arrival: 0})
+	if !d.Accepted {
+		t.Fatal(d.Reason)
+	}
+	if l.Timeline().Len() != 0 {
+		t.Error("probe must not reserve")
+	}
+	_, admits, _ := l.Counters()
+	if admits != 0 {
+		t.Error("probe must not count as admit")
+	}
+}
+
+func TestGACPicksEarliestNode(t *testing.T) {
+	a := NewLAC(nodeCap())
+	b := NewLAC(nodeCap())
+	tw := int64(1000)
+	// Load node a with two jobs so a third there starts at tw.
+	a.Admit(Request{JobID: 1, Target: medRUM(0, tw, 3), Mode: Strict(), Arrival: 0})
+	a.Admit(Request{JobID: 2, Target: medRUM(0, tw, 3), Mode: Strict(), Arrival: 0})
+	g := NewGAC(a, b)
+	node, d := g.Submit(Request{JobID: 3, Target: medRUM(0, tw, 3), Mode: Strict(), Arrival: 0})
+	if node != 1 {
+		t.Errorf("GAC picked node %d, want 1 (idle node)", node)
+	}
+	if !d.Accepted || d.Start != 0 {
+		t.Errorf("decision = %+v", d)
+	}
+	if b.Timeline().Len() != 1 {
+		t.Error("admission not committed on chosen node")
+	}
+}
+
+func TestGACRejectsWhenNoNodeFits(t *testing.T) {
+	a := NewLAC(nodeCap())
+	tw := int64(1000)
+	a.Admit(Request{JobID: 1, Target: medRUM(0, tw, 3), Mode: Strict(), Arrival: 0})
+	a.Admit(Request{JobID: 2, Target: medRUM(0, tw, 3), Mode: Strict(), Arrival: 0})
+	g := NewGAC(a)
+	node, d := g.Submit(Request{JobID: 3, Target: medRUM(0, tw, 1.05), Mode: Strict(), Arrival: 0})
+	if node != -1 || d.Accepted {
+		t.Errorf("expected global rejection, got node %d %+v", node, d)
+	}
+}
+
+func TestGACNegotiation(t *testing.T) {
+	a := NewLAC(nodeCap())
+	tw := int64(1000)
+	a.Admit(Request{JobID: 1, Target: medRUM(0, tw, 3), Mode: Strict(), Arrival: 0})
+	a.Admit(Request{JobID: 2, Target: medRUM(0, tw, 3), Mode: Strict(), Arrival: 0})
+	g := NewGAC(a)
+	// Strict with a tight deadline fails; negotiation lands on
+	// Opportunistic (two cores remain unreserved).
+	node, mode, d := g.SubmitOrNegotiate(
+		Request{JobID: 3, Target: medRUM(0, tw, 1.05), Mode: Strict(), Arrival: 0}, 0.05)
+	if node != 0 || !d.Accepted {
+		t.Fatalf("negotiation failed: node=%d %+v", node, d)
+	}
+	if mode.Kind != KindOpportunistic {
+		t.Errorf("negotiated mode = %v, want Opportunistic", mode)
+	}
+}
+
+func TestGACValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewGAC with no nodes did not panic")
+		}
+	}()
+	NewGAC()
+}

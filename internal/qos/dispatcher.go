@@ -1,0 +1,121 @@
+package qos
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Dispatcher is the LAC's scheduler queue (§5): it holds accepted jobs
+// together with their admission decisions and releases each one to the
+// operating system when its start time arrives — immediately for
+// Opportunistic and auto-downgraded jobs, at the reserved slot's start
+// for Strict/Elastic ones. It also surfaces the switch-back events of
+// auto-downgraded jobs. The simulator embeds this logic; Dispatcher is
+// the standalone, reusable version for host integrations (qosctl-style
+// controllers driving real processes).
+type Dispatcher struct {
+	lac     *LAC
+	pending []dispatchEntry
+	started map[int]bool
+}
+
+type dispatchEntry struct {
+	jobID    int
+	mode     Mode
+	startAt  int64
+	switchAt int64 // 0 = never
+}
+
+// Launch tells the host to start a job, optionally in a downgraded mode
+// until SwitchBack.
+type Launch struct {
+	JobID int
+	Mode  Mode
+	// Downgraded is set for auto-downgraded Strict jobs: run the job
+	// opportunistically now and expect a SwitchBack event later.
+	Downgraded bool
+}
+
+// SwitchBack tells the host to restore a downgraded job's reserved
+// resources.
+type SwitchBack struct {
+	JobID int
+}
+
+// NewDispatcher wraps a LAC.
+func NewDispatcher(lac *LAC) *Dispatcher {
+	if lac == nil {
+		panic("qos: dispatcher needs a LAC")
+	}
+	return &Dispatcher{lac: lac, started: map[int]bool{}}
+}
+
+// Submit runs admission and, on acceptance, queues the job for
+// dispatch. It returns the admission decision unchanged.
+func (d *Dispatcher) Submit(req Request) Decision {
+	dec := d.lac.Admit(req)
+	if !dec.Accepted {
+		return dec
+	}
+	e := dispatchEntry{jobID: req.JobID, mode: req.Mode, startAt: dec.Start}
+	if dec.AutoDowngraded {
+		e.startAt = req.Arrival
+		e.switchAt = dec.SwitchBack
+	} else if req.Mode.Kind == KindOpportunistic {
+		e.startAt = req.Arrival
+	}
+	d.pending = append(d.pending, e)
+	return dec
+}
+
+// Tick advances the dispatcher to time now and returns the host actions
+// that became due, in time order: Launches first (by start time), then
+// SwitchBacks. Actions are emitted exactly once.
+func (d *Dispatcher) Tick(now int64) (launches []Launch, switchBacks []SwitchBack) {
+	sort.SliceStable(d.pending, func(i, j int) bool {
+		return d.pending[i].startAt < d.pending[j].startAt
+	})
+	kept := d.pending[:0]
+	for _, e := range d.pending {
+		if !d.started[e.jobID] && e.startAt <= now {
+			d.started[e.jobID] = true
+			launches = append(launches, Launch{
+				JobID:      e.jobID,
+				Mode:       e.mode,
+				Downgraded: e.switchAt > 0,
+			})
+		}
+		if d.started[e.jobID] && e.switchAt > 0 && e.switchAt <= now {
+			switchBacks = append(switchBacks, SwitchBack{JobID: e.jobID})
+			e.switchAt = 0
+		}
+		if !d.started[e.jobID] || e.switchAt > 0 {
+			kept = append(kept, e)
+		}
+	}
+	d.pending = kept
+	return launches, switchBacks
+}
+
+// Complete reports a job's completion to the LAC (reclaiming
+// reservations) and drops any outstanding dispatch state.
+func (d *Dispatcher) Complete(jobID int, mode Mode, now int64) {
+	d.lac.Complete(jobID, mode, now)
+	delete(d.started, jobID)
+	kept := d.pending[:0]
+	for _, e := range d.pending {
+		if e.jobID != jobID {
+			kept = append(kept, e)
+		}
+	}
+	d.pending = kept
+}
+
+// Pending returns how many queued jobs still await a launch or a
+// switch-back.
+func (d *Dispatcher) Pending() int { return len(d.pending) }
+
+// String summarizes the queue.
+func (d *Dispatcher) String() string {
+	return fmt.Sprintf("dispatcher{pending:%d started:%d}", len(d.pending), len(d.started))
+}

@@ -1,0 +1,92 @@
+package qos
+
+import "testing"
+
+func TestDispatcherLaunchOrder(t *testing.T) {
+	lac := NewLAC(nodeCap())
+	d := NewDispatcher(lac)
+	tw := int64(1000)
+	// Two immediate jobs plus a third that must wait for a slot.
+	for i := 1; i <= 3; i++ {
+		dec := d.Submit(Request{JobID: i, Target: medRUM(0, tw, 3), Mode: Strict(), Arrival: 0})
+		if !dec.Accepted {
+			t.Fatalf("job %d rejected: %s", i, dec.Reason)
+		}
+	}
+	launches, _ := d.Tick(0)
+	if len(launches) != 2 {
+		t.Fatalf("launches at t=0: %d, want 2", len(launches))
+	}
+	if launches[0].JobID > launches[1].JobID {
+		t.Error("launch order not stable")
+	}
+	if l, _ := d.Tick(500); len(l) != 0 {
+		t.Error("no launch due at t=500")
+	}
+	launches, _ = d.Tick(1000)
+	if len(launches) != 1 || launches[0].JobID != 3 {
+		t.Fatalf("job 3 should launch at its slot: %+v", launches)
+	}
+	// Nothing is emitted twice.
+	if l, sb := d.Tick(5000); len(l) != 0 || len(sb) != 0 {
+		t.Error("duplicate emissions")
+	}
+	if d.Pending() != 0 {
+		t.Errorf("pending = %d, want 0", d.Pending())
+	}
+}
+
+func TestDispatcherAutoDowngradeFlow(t *testing.T) {
+	lac := NewLAC(nodeCap(), WithAutoDowngrade())
+	d := NewDispatcher(lac)
+	tw := int64(1000)
+	dec := d.Submit(Request{JobID: 1, Target: medRUM(0, tw, 2), Mode: Strict(), Arrival: 0})
+	if !dec.AutoDowngraded {
+		t.Fatalf("expected auto downgrade: %+v", dec)
+	}
+	launches, sb := d.Tick(0)
+	if len(launches) != 1 || !launches[0].Downgraded {
+		t.Fatalf("downgraded launch missing: %+v", launches)
+	}
+	if len(sb) != 0 {
+		t.Fatal("switch-back emitted early")
+	}
+	// At td − tw the switch-back fires.
+	_, sb = d.Tick(dec.SwitchBack)
+	if len(sb) != 1 || sb[0].JobID != 1 {
+		t.Fatalf("switch-back = %+v", sb)
+	}
+	// Early completion would have removed it instead:
+	dec2 := d.Submit(Request{JobID: 2, Target: medRUM(0, tw, 2), Mode: Strict(), Arrival: 0})
+	d.Tick(0)
+	d.Complete(2, Strict(), 100)
+	if _, sb := d.Tick(dec2.SwitchBack); len(sb) != 0 {
+		t.Error("completed job still switched back")
+	}
+}
+
+func TestDispatcherOpportunisticImmediate(t *testing.T) {
+	lac := NewLAC(nodeCap())
+	d := NewDispatcher(lac)
+	dec := d.Submit(Request{JobID: 1, Target: RUM{Resources: PresetMedium(), MaxWallClock: 100}, Mode: Opportunistic(), Arrival: 42})
+	if !dec.Accepted {
+		t.Fatal(dec.Reason)
+	}
+	if l, _ := d.Tick(42); len(l) != 1 || l[0].Mode.Kind != KindOpportunistic {
+		t.Fatalf("opportunistic launch = %+v", l)
+	}
+}
+
+func TestDispatcherRejectsPassThrough(t *testing.T) {
+	d := NewDispatcher(NewLAC(nodeCap()))
+	dec := d.Submit(Request{JobID: 1, Target: OPM{IPC: 1}, Mode: Strict()})
+	if dec.Accepted || d.Pending() != 0 {
+		t.Error("rejected job queued")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("nil-LAC dispatcher did not panic")
+		}
+	}()
+	NewDispatcher(nil)
+}

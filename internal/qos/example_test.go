@@ -1,0 +1,66 @@
+package qos_test
+
+import (
+	"fmt"
+
+	"cmpqos/internal/qos"
+)
+
+// The admission-control flow of §5: two medium jobs fit the node
+// immediately, the third must wait for a slot, and a job with a
+// non-convertible IPC target is rejected outright (§3.2).
+func ExampleLAC() {
+	lac := qos.NewLAC(qos.ResourceVector{Cores: 4, CacheWays: 16})
+	tw := int64(1000)
+	submit := func(id int, tgt qos.Target) {
+		d := lac.Admit(qos.Request{JobID: id, Target: tgt, Mode: qos.Strict()})
+		if d.Accepted {
+			fmt.Printf("job %d accepted, starts at %d\n", id, d.Start)
+		} else {
+			fmt.Printf("job %d rejected\n", id)
+		}
+	}
+	rum := qos.RUM{Resources: qos.PresetMedium(), MaxWallClock: tw}
+	submit(1, rum)
+	submit(2, rum)
+	submit(3, rum)
+	submit(4, qos.OPM{IPC: 0.25})
+	// Output:
+	// job 1 accepted, starts at 0
+	// job 2 accepted, starts at 0
+	// job 3 accepted, starts at 1000
+	// job 4 rejected
+}
+
+// The downgrade algebra of §3.3: a Strict job with a moderate deadline
+// can run as Elastic(100%) or opportunistically until td − tw.
+func ExampleElasticEquivalent() {
+	ta, tw := int64(0), int64(1000)
+	td := ta + 2*tw
+	if m, ok := qos.ElasticEquivalent(ta, tw, td); ok {
+		fmt.Println("interchangeable with", m)
+	}
+	if sb, ok := qos.OpportunisticWindow(ta, tw, td); ok {
+		fmt.Println("opportunistic until cycle", sb)
+	}
+	// Output:
+	// interchangeable with Elastic(100%)
+	// opportunistic until cycle 1000
+}
+
+// A Global Admission Controller places each job at the node with the
+// earliest feasible start (§3.1).
+func ExampleGAC() {
+	busy := qos.NewLAC(qos.ResourceVector{Cores: 4, CacheWays: 16})
+	idle := qos.NewLAC(qos.ResourceVector{Cores: 4, CacheWays: 16})
+	tw := int64(1000)
+	rum := qos.RUM{Resources: qos.PresetMedium(), MaxWallClock: tw}
+	busy.Admit(qos.Request{JobID: 1, Target: rum, Mode: qos.Strict()})
+	busy.Admit(qos.Request{JobID: 2, Target: rum, Mode: qos.Strict()})
+
+	gac := qos.NewGAC(busy, idle)
+	node, dec := gac.Submit(qos.Request{JobID: 3, Target: rum, Mode: qos.Strict()})
+	fmt.Printf("placed on node %d at cycle %d\n", node, dec.Start)
+	// Output:
+	// placed on node 1 at cycle 0
+}

@@ -1,0 +1,144 @@
+package qos
+
+import "fmt"
+
+// Kind enumerates the QoS execution modes of §3.3.
+type Kind int
+
+const (
+	// KindStrict reserves the requested resources and timeslot exactly.
+	KindStrict Kind = iota
+	// KindElastic tolerates up to X% slowdown versus the Strict
+	// reservation while still guaranteeing the deadline; its reservation
+	// is stretched to tw·(1+X).
+	KindElastic
+	// KindOpportunistic reserves nothing and scavenges spare resources.
+	KindOpportunistic
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindStrict:
+		return "Strict"
+	case KindElastic:
+		return "Elastic"
+	case KindOpportunistic:
+		return "Opportunistic"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Mode is one of the three execution modes; Slack carries the X of
+// Elastic(X) as a fraction (0.05 for Elastic(5%)).
+type Mode struct {
+	Kind  Kind
+	Slack float64
+}
+
+// Strict returns the Strict mode.
+func Strict() Mode { return Mode{Kind: KindStrict} }
+
+// Elastic returns Elastic(x) with x a fraction in (0, 1]. It panics on
+// out-of-range slack, which indicates a configuration error.
+func Elastic(x float64) Mode {
+	if x <= 0 || x > 1 {
+		panic(fmt.Sprintf("qos: elastic slack %v out of (0,1]", x))
+	}
+	return Mode{Kind: KindElastic, Slack: x}
+}
+
+// Opportunistic returns the Opportunistic mode.
+func Opportunistic() Mode { return Mode{Kind: KindOpportunistic} }
+
+// String renders the mode as the paper writes it.
+func (m Mode) String() string {
+	if m.Kind == KindElastic {
+		return fmt.Sprintf("Elastic(%g%%)", m.Slack*100)
+	}
+	return m.Kind.String()
+}
+
+// Reserves reports whether the mode reserves resources.
+func (m Mode) Reserves() bool { return m.Kind != KindOpportunistic }
+
+// ReservationLength returns how long the mode's reservation must span
+// for a job with maximum wall-clock time tw: tw for Strict, tw·(1+X) for
+// Elastic (§3.4 — an Elastic job may be slowed by up to X%, so its
+// resources are held longer), and 0 for Opportunistic.
+func (m Mode) ReservationLength(tw int64) int64 {
+	switch m.Kind {
+	case KindStrict:
+		return tw
+	case KindElastic:
+		return int64(float64(tw) * (1 + m.Slack))
+	default:
+		return 0
+	}
+}
+
+// Downgrade algebra (§3.3): a Strict job arriving at ta with wall-clock
+// tw and deadline td has slack (td − ta) − tw. Two modes are
+// interchangeable when both can guarantee completion by the same
+// deadline.
+
+// ElasticEquivalent returns the Elastic(X) mode a Strict job can be
+// transparently downgraded to while still meeting its deadline:
+// X = ((td − ta) − tw) / tw. ok is false when there is no positive
+// slack (or no timeslot), in which case no downgrade is possible.
+func ElasticEquivalent(ta, tw, td int64) (Mode, bool) {
+	if tw <= 0 || td == 0 {
+		return Mode{}, false
+	}
+	slackCycles := (td - ta) - tw
+	if slackCycles <= 0 {
+		return Mode{}, false
+	}
+	x := float64(slackCycles) / float64(tw)
+	if x > 1 {
+		x = 1
+	}
+	return Elastic(x), true
+}
+
+// OpportunisticWindow returns the latest time until which a Strict job
+// (ta, tw, td) can run in the Opportunistic mode before it must be
+// switched back to Strict to guarantee its deadline: td − tw. ok is
+// false when there is no positive slack. This is the automatic mode
+// downgrade of §3.3–3.4: the job's resources remain reserved in the
+// timeslot [td − tw, td] — placed as far away as possible so the job has
+// the best chance of finishing opportunistically first — and are
+// reclaimed early if it does.
+func OpportunisticWindow(ta, tw, td int64) (switchBack int64, ok bool) {
+	if tw <= 0 || td == 0 {
+		return 0, false
+	}
+	if (td-ta)-tw <= 0 {
+		return 0, false
+	}
+	return td - tw, true
+}
+
+// Interchangeable reports whether a job (ta, tw, td) running in mode a
+// could run in mode b and still be guaranteed to complete by td (§3.3's
+// definition, restricted to the downgrade directions the paper uses:
+// Strict→Elastic(X) with X within the slack, and Strict→Opportunistic
+// with a reserved switch-back window). Every mode is interchangeable
+// with itself.
+func Interchangeable(a, b Mode, ta, tw, td int64) bool {
+	if a == b {
+		return true
+	}
+	if a.Kind != KindStrict {
+		return false
+	}
+	switch b.Kind {
+	case KindElastic:
+		eq, ok := ElasticEquivalent(ta, tw, td)
+		return ok && b.Slack <= eq.Slack
+	case KindOpportunistic:
+		_, ok := OpportunisticWindow(ta, tw, td)
+		return ok
+	}
+	return false
+}

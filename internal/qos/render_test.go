@@ -1,0 +1,71 @@
+package qos
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTimelineRender(t *testing.T) {
+	tl := NewTimeline(ResourceVector{Cores: 4, CacheWays: 16})
+	tl.Reserve(1, PresetMedium(), 0, 1000)   // 7/16 ways, 1/4 cores
+	tl.Reserve(2, PresetMedium(), 0, 500)    // 14/16 ways in [0,500)
+	tl.Reserve(3, PresetMedium(), 1500, 500) // gap then one job
+	out := tl.Render(0, 2000, 40)
+	lines := strings.Split(out, "\n")
+	if len(lines) < 4 {
+		t.Fatalf("render too short:\n%s", out)
+	}
+	if !strings.Contains(out, "cores |") || !strings.Contains(out, "ways  |") {
+		t.Fatalf("missing dimension rows:\n%s", out)
+	}
+	// The [1000,1500) gap must show idle columns in the ways row.
+	var waysRow string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "ways") {
+			waysRow = l
+		}
+	}
+	if !strings.Contains(waysRow, " ") {
+		t.Errorf("ways row shows no idle gap: %q", waysRow)
+	}
+	// The [0,500) window is 14/16 ways = 87.5% → '#'.
+	if !strings.Contains(waysRow, "#") {
+		t.Errorf("ways row missing high-utilization glyph: %q", waysRow)
+	}
+}
+
+func TestTimelineRenderExtendedDims(t *testing.T) {
+	tl := NewTimeline(ResourceVector{Cores: 4, CacheWays: 16, MemoryMB: 4096})
+	tl.Reserve(1, ResourceVector{Cores: 1, CacheWays: 4, MemoryMB: 4096}, 0, 100)
+	out := tl.Render(0, 100, 20)
+	if !strings.Contains(out, "memMB |") {
+		t.Fatalf("memory row missing:\n%s", out)
+	}
+	if !strings.Contains(out, "@") {
+		t.Errorf("full memory should render '@':\n%s", out)
+	}
+}
+
+func TestTimelineRenderDegenerate(t *testing.T) {
+	tl := NewTimeline(ResourceVector{Cores: 1, CacheWays: 1})
+	if out := tl.Render(10, 10, 20); !strings.Contains(out, "empty") {
+		t.Errorf("degenerate window = %q", out)
+	}
+}
+
+func TestTimelineHorizon(t *testing.T) {
+	tl := NewTimeline(ResourceVector{Cores: 4, CacheWays: 16})
+	if h := tl.Horizon(5); h != 5 {
+		t.Errorf("empty horizon = %d, want from", h)
+	}
+	tl.Reserve(1, PresetSmall(), 0, 700)
+	tl.Reserve(2, PresetSmall(), 100, 300)
+	if h := tl.Horizon(0); h != 700 {
+		t.Errorf("horizon = %d, want 700", h)
+	}
+	// Unbounded (no-timeslot) reservations do not blow the horizon up.
+	tl.Reserve(3, PresetSmall(), 0, foreverCycles)
+	if h := tl.Horizon(0); h != 700 {
+		t.Errorf("horizon with unbounded reservation = %d, want 700", h)
+	}
+}

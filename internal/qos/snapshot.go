@@ -1,0 +1,84 @@
+package qos
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Snapshotting lets a user-level admission controller (§5) survive a
+// restart: the reservation timeline and admission counters are the only
+// durable state; everything else is derived. The wire format is JSON,
+// versioned so future layouts can migrate.
+
+// snapshotVersion is bumped on incompatible layout changes.
+const snapshotVersion = 1
+
+type lacSnapshot struct {
+	Version  int            `json:"version"`
+	Capacity ResourceVector `json:"capacity"`
+	NextID   int            `json:"next_reservation_id"`
+	Res      []Reservation  `json:"reservations"`
+	ResByJob map[int][]int  `json:"reservations_by_job"`
+	OppLive  int            `json:"opportunistic_live"`
+	Probes   int64          `json:"probes"`
+	Admits   int64          `json:"admits"`
+	Rejects  int64          `json:"rejects"`
+	Overhead int64          `json:"overhead_cycles"`
+}
+
+// Snapshot serializes the controller's durable state.
+func (l *LAC) Snapshot(w io.Writer) error {
+	snap := lacSnapshot{
+		Version:  snapshotVersion,
+		Capacity: l.timeline.capacity,
+		NextID:   l.timeline.nextID,
+		Res:      l.timeline.Reservations(),
+		ResByJob: l.resByJob,
+		OppLive:  l.oppLive,
+		Probes:   l.probes,
+		Admits:   l.admits,
+		Rejects:  l.rejects,
+		Overhead: l.overheadCycles,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}
+
+// RestoreLAC rebuilds a controller from a snapshot. Options (auto
+// downgrade, pin caps) are configuration, not state — pass them again.
+func RestoreLAC(r io.Reader, opts ...LACOption) (*LAC, error) {
+	var snap lacSnapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("qos: decoding snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("qos: snapshot version %d, want %d", snap.Version, snapshotVersion)
+	}
+	if !snap.Capacity.Valid() || snap.Capacity.IsZero() {
+		return nil, fmt.Errorf("qos: snapshot has invalid capacity %v", snap.Capacity)
+	}
+	l := NewLAC(snap.Capacity, opts...)
+	for _, res := range snap.Res {
+		if res.End <= res.Start || !res.Vec.Valid() {
+			return nil, fmt.Errorf("qos: snapshot reservation %d malformed", res.ID)
+		}
+		// Re-reserve through the timeline so capacity invariants are
+		// re-verified; a corrupted snapshot fails loudly here.
+		if !l.timeline.fits(res.Vec, res.Start, res.End-res.Start) {
+			return nil, fmt.Errorf("qos: snapshot reservations exceed capacity at %d", res.Start)
+		}
+		l.timeline.res = append(l.timeline.res, res)
+	}
+	l.timeline.nextID = snap.NextID
+	if snap.ResByJob != nil {
+		l.resByJob = snap.ResByJob
+	}
+	l.oppLive = snap.OppLive
+	l.probes = snap.Probes
+	l.admits = snap.Admits
+	l.rejects = snap.Rejects
+	l.overheadCycles = snap.Overhead
+	return l, nil
+}

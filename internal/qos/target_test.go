@@ -1,0 +1,153 @@
+package qos
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestResourceVectorAlgebra(t *testing.T) {
+	a := ResourceVector{Cores: 2, CacheWays: 7}
+	b := ResourceVector{Cores: 1, CacheWays: 3}
+	if got := a.Add(b); got != (ResourceVector{Cores: 3, CacheWays: 10}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != (ResourceVector{Cores: 1, CacheWays: 4}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if !b.Fits(a) || a.Fits(b) {
+		t.Error("Fits comparison wrong")
+	}
+	if !(ResourceVector{}).IsZero() || a.IsZero() {
+		t.Error("IsZero wrong")
+	}
+	if !a.Valid() || (ResourceVector{Cores: -1}).Valid() {
+		t.Error("Valid wrong")
+	}
+}
+
+func TestResourceVectorExtendedDimensions(t *testing.T) {
+	// §3.2's future-work dimensions: memory size and bandwidth rate
+	// constrain only when the capacity declares them.
+	capNoMem := ResourceVector{Cores: 4, CacheWays: 16}
+	req := ResourceVector{Cores: 1, CacheWays: 7, MemoryMB: 2048, BandwidthMBps: 800}
+	if !req.Fits(capNoMem) {
+		t.Error("undeclared memory/bandwidth capacity must not constrain")
+	}
+	capFull := ResourceVector{Cores: 4, CacheWays: 16, MemoryMB: 4096, BandwidthMBps: 6400}
+	if !req.Fits(capFull) {
+		t.Error("request within full capacity rejected")
+	}
+	if (ResourceVector{Cores: 1, CacheWays: 1, MemoryMB: 8192}).Fits(capFull) {
+		t.Error("memory overflow accepted")
+	}
+	if (ResourceVector{Cores: 1, CacheWays: 1, BandwidthMBps: 9999}).Fits(capFull) {
+		t.Error("bandwidth overflow accepted")
+	}
+	// Admission over all four dimensions end to end: two 2.5 GB jobs
+	// cannot coexist in 4 GB even though cores/ways would fit.
+	l := NewLAC(capFull)
+	mk := func(id int) Request {
+		return Request{
+			JobID: id,
+			Target: RUM{
+				Resources:    ResourceVector{Cores: 1, CacheWays: 4, MemoryMB: 2560},
+				MaxWallClock: 1000,
+			},
+			Mode: Strict(),
+		}
+	}
+	if d := l.Admit(mk(1)); !d.Accepted {
+		t.Fatalf("first job rejected: %s", d.Reason)
+	}
+	d := l.Admit(mk(2))
+	if !d.Accepted {
+		t.Fatalf("second job rejected outright: %s", d.Reason)
+	}
+	if d.Start == 0 {
+		t.Error("second 2.5GB job must wait for the first to release memory")
+	}
+	if s := req.String(); !strings.Contains(s, "mem:2048MB") || !strings.Contains(s, "bw:800MB/s") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestResourceVectorAddSubInverse(t *testing.T) {
+	f := func(ac, aw, bc, bw uint8) bool {
+		a := ResourceVector{Cores: int(ac), CacheWays: int(aw)}
+		b := ResourceVector{Cores: int(bc), CacheWays: int(bw)}
+		return a.Add(b).Sub(b) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConvertibility(t *testing.T) {
+	// §3.2: RUM is convertible; OPM and RPM are not.
+	var targets = []struct {
+		tgt         Target
+		convertible bool
+	}{
+		{RUM{Resources: PresetMedium()}, true},
+		{OPM{IPC: 0.25}, false},
+		{RPM{MissRate: 0.05}, false},
+	}
+	for _, tc := range targets {
+		if tc.tgt.Convertible() != tc.convertible {
+			t.Errorf("%T convertible = %v, want %v", tc.tgt, tc.tgt.Convertible(), tc.convertible)
+		}
+		v, err := tc.tgt.Demand()
+		if tc.convertible {
+			if err != nil {
+				t.Errorf("%T demand failed: %v", tc.tgt, err)
+			}
+			if v != PresetMedium() {
+				t.Errorf("%T demand = %v", tc.tgt, v)
+			}
+		} else if !errors.Is(err, ErrNotConvertible) {
+			t.Errorf("%T demand error = %v, want ErrNotConvertible", tc.tgt, err)
+		}
+	}
+}
+
+func TestRUMValidate(t *testing.T) {
+	ok := RUM{Resources: PresetMedium(), MaxWallClock: 100, Deadline: 250}
+	if err := ok.Validate(10); err != nil {
+		t.Errorf("valid RUM rejected: %v", err)
+	}
+	bad := []RUM{
+		{Resources: ResourceVector{}},                                // empty
+		{Resources: ResourceVector{Cores: -1, CacheWays: 2}},         // negative
+		{Resources: PresetSmall(), MaxWallClock: -5},                 // negative tw
+		{Resources: PresetSmall(), Deadline: 100},                    // deadline w/o tw
+		{Resources: PresetSmall(), MaxWallClock: 100, Deadline: 105}, // unreachable (ta=10)
+	}
+	for i, r := range bad {
+		if err := r.Validate(10); err == nil {
+			t.Errorf("case %d: invalid RUM accepted: %+v", i, r)
+		}
+	}
+}
+
+func TestRUMTimeslot(t *testing.T) {
+	if (RUM{Resources: PresetSmall()}).HasTimeslot() {
+		t.Error("RUM without tw should have no timeslot")
+	}
+	if !(RUM{Resources: PresetSmall(), MaxWallClock: 1}).HasTimeslot() {
+		t.Error("RUM with tw should have a timeslot")
+	}
+}
+
+func TestPresets(t *testing.T) {
+	if PresetMedium() != (ResourceVector{Cores: 1, CacheWays: 7}) {
+		t.Errorf("medium preset = %v, want the paper's 1 core / 7 ways", PresetMedium())
+	}
+	if !PresetSmall().Fits(PresetMedium()) {
+		t.Error("small must fit within medium")
+	}
+	if !PresetMedium().Fits(PresetLarge()) {
+		t.Error("medium must fit within large")
+	}
+}

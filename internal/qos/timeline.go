@@ -1,0 +1,242 @@
+package qos
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Reservation is one job's hold on resources over a time interval
+// [Start, End).
+type Reservation struct {
+	ID    int
+	JobID int
+	Vec   ResourceVector
+	Start int64
+	End   int64
+}
+
+// Timeline tracks resource reservations against a fixed capacity vector
+// and answers the admission controller's fit queries. It is the "list of
+// vectors that encode processor core and cache capacity resources and
+// the timeslots in which they are available" of §5, stored as the dual:
+// the reservations themselves.
+type Timeline struct {
+	capacity ResourceVector
+	res      []Reservation
+	nextID   int
+}
+
+// NewTimeline builds a timeline for a node with the given capacity.
+func NewTimeline(capacity ResourceVector) *Timeline {
+	if !capacity.Valid() || capacity.IsZero() {
+		panic(fmt.Sprintf("qos: invalid timeline capacity %v", capacity))
+	}
+	return &Timeline{capacity: capacity, nextID: 1}
+}
+
+// Capacity returns the node's total capacity vector.
+func (t *Timeline) Capacity() ResourceVector { return t.capacity }
+
+// Len returns the number of live reservations.
+func (t *Timeline) Len() int { return len(t.res) }
+
+// UsageAt returns the summed reservation vector at time x.
+func (t *Timeline) UsageAt(x int64) ResourceVector {
+	var u ResourceVector
+	for _, r := range t.res {
+		if r.Start <= x && x < r.End {
+			u = u.Add(r.Vec)
+		}
+	}
+	return u
+}
+
+// AvailableAt returns capacity minus usage at time x.
+func (t *Timeline) AvailableAt(x int64) ResourceVector {
+	return t.capacity.Sub(t.UsageAt(x))
+}
+
+// fits reports whether adding vec over [start, start+dur) stays within
+// capacity at every instant. It checks usage at the start and at every
+// reservation boundary inside the window — usage is piecewise constant
+// between boundaries.
+func (t *Timeline) fits(vec ResourceVector, start, dur int64) bool {
+	end := start + dur
+	if !t.UsageAt(start).Add(vec).Fits(t.capacity) {
+		return false
+	}
+	for _, r := range t.res {
+		if r.Start > start && r.Start < end {
+			if !t.UsageAt(r.Start).Add(vec).Fits(t.capacity) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// EarliestFit returns the earliest start ≥ now at which vec fits for dur
+// cycles with the window ending no later than deadline (0 = no
+// deadline). ok is false when no such slot exists. This is the FCFS
+// admission test of §5.
+func (t *Timeline) EarliestFit(vec ResourceVector, now, dur, deadline int64) (start int64, ok bool) {
+	if !vec.Fits(t.capacity) || dur <= 0 {
+		return 0, false
+	}
+	// Candidate starts: now itself and every reservation end after now —
+	// availability only increases at reservation ends.
+	cands := []int64{now}
+	for _, r := range t.res {
+		if r.End > now {
+			cands = append(cands, r.End)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+	for _, s := range cands {
+		if deadline != 0 && s+dur > deadline {
+			return 0, false // candidates ascend; later ones are worse
+		}
+		if t.fits(vec, s, dur) {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
+// LatestFit returns the latest start ≥ now such that vec fits for dur
+// cycles ending no later than deadline. It is used by automatic mode
+// downgrade, which places the fall-back reservation "as far away as
+// possible" (§3.4). ok is false when no slot exists.
+func (t *Timeline) LatestFit(vec ResourceVector, now, dur, deadline int64) (start int64, ok bool) {
+	if !vec.Fits(t.capacity) || dur <= 0 || deadline == 0 || deadline-dur < now {
+		return 0, false
+	}
+	// Candidate starts, descending: deadline−dur, and for every
+	// reservation start s in range, s−dur (ending just as that
+	// reservation begins).
+	cands := []int64{deadline - dur}
+	for _, r := range t.res {
+		if c := r.Start - dur; c >= now && c+dur <= deadline {
+			cands = append(cands, c)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i] > cands[j] })
+	for _, s := range cands {
+		if t.fits(vec, s, dur) {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
+// Reserve records a reservation and returns its ID. It panics if the
+// window does not actually fit — callers must have verified fit, so a
+// violation is a scheduler bug, not a runtime condition.
+func (t *Timeline) Reserve(jobID int, vec ResourceVector, start, dur int64) int {
+	if !t.fits(vec, start, dur) {
+		panic(fmt.Sprintf("qos: reservation %v @[%d,%d) does not fit", vec, start, start+dur))
+	}
+	id := t.nextID
+	t.nextID++
+	t.res = append(t.res, Reservation{ID: id, JobID: jobID, Vec: vec, Start: start, End: start + dur})
+	return id
+}
+
+// Release removes a reservation by ID; it is a no-op for unknown IDs
+// (already released).
+func (t *Timeline) Release(id int) {
+	for i, r := range t.res {
+		if r.ID == id {
+			t.res = append(t.res[:i], t.res[i+1:]...)
+			return
+		}
+	}
+}
+
+// TruncateAt shortens reservation id to end at x (early completion
+// reclaim, §3.4: "when a job completes before it meets its reserved
+// timeslot, the reserved resources can be reclaimed"). If x ≤ start the
+// reservation is removed entirely.
+func (t *Timeline) TruncateAt(id int, x int64) {
+	for i := range t.res {
+		if t.res[i].ID == id {
+			if x <= t.res[i].Start {
+				t.Release(id)
+			} else if x < t.res[i].End {
+				t.res[i].End = x
+			}
+			return
+		}
+	}
+}
+
+// Get returns a reservation by ID.
+func (t *Timeline) Get(id int) (Reservation, bool) {
+	for _, r := range t.res {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Reservation{}, false
+}
+
+// Prune drops reservations that ended at or before now, bounding the
+// admission test's scan cost.
+func (t *Timeline) Prune(now int64) {
+	kept := t.res[:0]
+	for _, r := range t.res {
+		if r.End > now {
+			kept = append(kept, r)
+		}
+	}
+	t.res = kept
+}
+
+// Reservations returns a copy of the live reservations, sorted by start
+// time, for diagnostics and trace rendering.
+func (t *Timeline) Reservations() []Reservation {
+	out := make([]Reservation, len(t.res))
+	copy(out, t.res)
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// AvailabilityStep is one segment of the piecewise-constant availability
+// profile: the capacity left unreserved over [Start, End).
+type AvailabilityStep struct {
+	Start, End int64
+	Free       ResourceVector
+}
+
+// Availability returns the availability profile over [from, to): the
+// step function of unreserved capacity, in time order. Placement layers
+// (GAC heuristics, visualizations) consume this instead of re-deriving
+// it from raw reservations.
+func (t *Timeline) Availability(from, to int64) []AvailabilityStep {
+	if to <= from {
+		return nil
+	}
+	points := map[int64]bool{from: true, to: true}
+	for _, r := range t.res {
+		if r.Start > from && r.Start < to {
+			points[r.Start] = true
+		}
+		if r.End > from && r.End < to {
+			points[r.End] = true
+		}
+	}
+	cuts := make([]int64, 0, len(points))
+	for p := range points {
+		cuts = append(cuts, p)
+	}
+	sort.Slice(cuts, func(i, j int) bool { return cuts[i] < cuts[j] })
+	var out []AvailabilityStep
+	for i := 0; i+1 < len(cuts); i++ {
+		out = append(out, AvailabilityStep{
+			Start: cuts[i],
+			End:   cuts[i+1],
+			Free:  t.AvailableAt(cuts[i]),
+		})
+	}
+	return out
+}

@@ -1,0 +1,176 @@
+package sim
+
+import (
+	"fmt"
+
+	"cmpqos/internal/qos"
+	"cmpqos/internal/workload"
+)
+
+// ClusterConfig describes the paper's working environment (§3.1,
+// Figure 2): a server of identical CMP nodes behind a Global Admission
+// Controller. Arrivals probe every node's Local Admission Controller;
+// the GAC places each job at the node offering the earliest feasible
+// start and rejects jobs no node can satisfy.
+type ClusterConfig struct {
+	// Nodes is the CMP node count (the paper sizes its arrival pressure
+	// for a 128-node server; any count works here).
+	Nodes int
+	// Node is the per-node configuration; its AcceptTarget is ignored in
+	// favour of AcceptTarget below, and its arrival pressure drives the
+	// whole cluster.
+	Node Config
+	// AcceptTarget is the total number of accepted jobs across the
+	// cluster that constitutes the workload.
+	AcceptTarget int
+}
+
+// Validate checks the configuration.
+func (c ClusterConfig) Validate() error {
+	if c.Nodes <= 0 || c.Nodes > 1024 {
+		return fmt.Errorf("sim: node count %d out of range", c.Nodes)
+	}
+	if c.AcceptTarget <= 0 {
+		return fmt.Errorf("sim: cluster accept target must be positive")
+	}
+	if c.Node.Policy == EqualPart {
+		return fmt.Errorf("sim: the cluster layer requires admission control (not EqualPart)")
+	}
+	return c.Node.Validate()
+}
+
+// ClusterReport aggregates a cluster run.
+type ClusterReport struct {
+	Nodes           []*Report
+	Accepted        int
+	RejectedProbes  int // submissions no node would take
+	TotalCycles     int64
+	DeadlineHitRate float64
+}
+
+// ClusterRunner simulates the GAC-fronted multi-node environment: all
+// nodes advance in lock-step epochs while the shared arrival process
+// feeds the GAC placement loop.
+type ClusterRunner struct {
+	cfg      ClusterConfig
+	nodes    []*Runner
+	arrivals *workload.Arrivals
+	dlmix    *workload.DeadlineMix
+	nextArr  int64
+	now      int64
+	accepted int
+	rejected int
+}
+
+// NewCluster builds the cluster runner.
+func NewCluster(cfg ClusterConfig) (*ClusterRunner, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cr := &ClusterRunner{
+		cfg:   cfg,
+		dlmix: workload.NewDeadlineMix(cfg.Node.Seed),
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		nodeCfg := cfg.Node
+		nodeCfg.Seed = cfg.Node.Seed + int64(i)*101
+		// Per-node accept targets are moot; the cluster decides.
+		nodeCfg.AcceptTarget = cfg.AcceptTarget
+		n, err := New(nodeCfg)
+		if err != nil {
+			return nil, err
+		}
+		n.external = true
+		cr.nodes = append(cr.nodes, n)
+	}
+	// The shared arrival process scales with the node count, as the
+	// paper's 4×128-per-tw pressure scales with its server size.
+	ref := cr.nodes[0].refTW
+	cr.arrivals = workload.NewArrivals(cfg.Node.Seed+1,
+		cfg.Node.ProbesPerTw*float64(cfg.Nodes), ref)
+	cr.nextArr = cr.arrivals.Next()
+	return cr, nil
+}
+
+// Run executes the cluster to completion.
+func (cr *ClusterRunner) Run() (*ClusterReport, error) {
+	for !cr.done() {
+		if cr.now > cr.cfg.Node.MaxCycles {
+			return nil, fmt.Errorf("sim: cluster exceeded safety horizon with %d/%d accepted",
+				cr.accepted, cr.cfg.AcceptTarget)
+		}
+		epochEnd := cr.now + cr.cfg.Node.EpochCycles
+		cr.placeArrivals(epochEnd)
+		for _, n := range cr.nodes {
+			n.step()
+		}
+		cr.now = epochEnd
+	}
+	rep := &ClusterReport{Accepted: cr.accepted, RejectedProbes: cr.rejected}
+	hits, den := 0, 0
+	for _, n := range cr.nodes {
+		nr := n.report()
+		rep.Nodes = append(rep.Nodes, nr)
+		if nr.TotalCycles > rep.TotalCycles {
+			rep.TotalCycles = nr.TotalCycles
+		}
+		for _, j := range nr.Jobs {
+			if j.Mode.Kind != qos.KindOpportunistic {
+				den++
+				if j.Met {
+					hits++
+				}
+			}
+		}
+	}
+	if den > 0 {
+		rep.DeadlineHitRate = float64(hits) / float64(den)
+	}
+	return rep, nil
+}
+
+func (cr *ClusterRunner) done() bool {
+	if cr.accepted < cr.cfg.AcceptTarget {
+		return false
+	}
+	for _, n := range cr.nodes {
+		if !n.idle() {
+			return false
+		}
+	}
+	return true
+}
+
+// placeArrivals runs the GAC loop for every arrival inside the epoch:
+// probe all nodes, admit at the earliest-start node.
+func (cr *ClusterRunner) placeArrivals(epochEnd int64) {
+	for cr.nextArr < epochEnd && cr.accepted < cr.cfg.AcceptTarget {
+		ta := cr.nextArr
+		if ta < cr.now {
+			ta = cr.now
+		}
+		tmpl := cr.cfg.Node.Workload.Jobs[cr.accepted%len(cr.cfg.Node.Workload.Jobs)]
+		dl := cr.dlmix.Next()
+		// Earliest feasible start wins; ties (common for Opportunistic
+		// jobs, which always start immediately) break toward the node
+		// with the fewest live jobs so scavengers spread out.
+		best, bestStart, bestLoad := -1, int64(0), 0
+		for i, n := range cr.nodes {
+			if start, ok := n.probeTemplate(tmpl, dl, ta); ok {
+				load := len(n.accepted) - n.doneCount()
+				if best == -1 || start < bestStart || (start == bestStart && load < bestLoad) {
+					best, bestStart, bestLoad = i, start, load
+				}
+			}
+		}
+		if best == -1 {
+			cr.rejected++
+		} else if cr.nodes[best].submitTemplate(tmpl, dl, ta) {
+			cr.accepted++
+		} else {
+			// Probe raced completion bookkeeping; count as rejection.
+			cr.rejected++
+		}
+		cr.nextArr = cr.arrivals.Next()
+	}
+}

@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"testing"
+
+	"cmpqos/internal/workload"
+)
+
+func clusterCfg(nodes, target int) ClusterConfig {
+	node := fastConfig(Hybrid2, workload.Single("bzip2"))
+	return ClusterConfig{Nodes: nodes, Node: node, AcceptTarget: target}
+}
+
+func TestClusterValidation(t *testing.T) {
+	if err := clusterCfg(2, 20).Validate(); err != nil {
+		t.Fatalf("valid cluster config rejected: %v", err)
+	}
+	bad := clusterCfg(0, 20)
+	if err := bad.Validate(); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	bad = clusterCfg(2, 0)
+	if err := bad.Validate(); err == nil {
+		t.Error("zero target accepted")
+	}
+	ep := clusterCfg(2, 20)
+	ep.Node.Policy = EqualPart
+	if err := ep.Validate(); err == nil {
+		t.Error("EqualPart cluster accepted")
+	}
+}
+
+func TestClusterRunsAndGuarantees(t *testing.T) {
+	cr, err := NewCluster(clusterCfg(2, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := cr.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accepted != 20 {
+		t.Fatalf("accepted = %d, want 20", rep.Accepted)
+	}
+	if rep.DeadlineHitRate != 1.0 {
+		t.Errorf("cluster hit rate = %v, want 1.0 (the GAC only places satisfiable jobs)", rep.DeadlineHitRate)
+	}
+	if len(rep.Nodes) != 2 {
+		t.Fatalf("node reports = %d", len(rep.Nodes))
+	}
+	// The GAC balances: both nodes should carry a meaningful share.
+	for i, nr := range rep.Nodes {
+		if len(nr.Jobs) < 5 {
+			t.Errorf("node %d carries only %d jobs — placement unbalanced", i, len(nr.Jobs))
+		}
+	}
+}
+
+func TestClusterScalesThroughput(t *testing.T) {
+	// The Figure 2 environment scaling: doubling the nodes while
+	// doubling the job count should keep the makespan roughly flat
+	// (within 35%), i.e. throughput scales with nodes.
+	one, err := NewCluster(clusterCfg(1, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := one.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := NewCluster(clusterCfg(2, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := two.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(r2.TotalCycles) / float64(r1.TotalCycles)
+	if ratio > 1.35 {
+		t.Errorf("2-node makespan for 2x jobs is %.2fx the 1-node makespan; want near-flat", ratio)
+	}
+}
+
+func TestClusterSingleNodeMatchesRunnerShape(t *testing.T) {
+	// A 1-node cluster must behave like the standalone runner: 10 jobs,
+	// all reserved deadlines met.
+	cr, err := NewCluster(clusterCfg(1, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := cr.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accepted != 10 || rep.DeadlineHitRate != 1.0 {
+		t.Errorf("accepted=%d hit=%v", rep.Accepted, rep.DeadlineHitRate)
+	}
+}

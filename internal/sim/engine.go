@@ -1,0 +1,894 @@
+package sim
+
+import (
+	"fmt"
+
+	"cmpqos/internal/alloc"
+	"cmpqos/internal/cache"
+	"cmpqos/internal/mem"
+	"cmpqos/internal/qos"
+	"cmpqos/internal/steal"
+	"cmpqos/internal/trace"
+	"cmpqos/internal/workload"
+)
+
+// Runner executes one simulation configuration to completion.
+type Runner struct {
+	cfg   Config
+	lac   *qos.LAC
+	bus   *mem.Bus
+	rec   *trace.Recorder
+	model model
+
+	jobs      []*Job // every submitted job, in submission order
+	accepted  []*Job
+	scriptPos int
+	rejected  int
+	now       int64
+	arrivals  *workload.Arrivals
+	dlmix     *workload.DeadlineMix
+	nextArr   int64
+	submitIdx int
+
+	twByBench map[string]int64
+	twInstr   int64 // instruction count the tw table was computed at
+	refTW     int64
+	reqWays   int
+	external  bool // arrivals are injected by a ClusterRunner
+	series    []SeriesSample
+	epochIdx  int64
+	coreSched []coreSchedState
+
+	// Fragmentation accumulators, in resource-epochs (§3.4): idle cores,
+	// unallocated-and-unscavenged ways, and reserved-but-unneeded ways.
+	fragIdleCores float64
+	fragIdleWays  float64
+	fragInternal  float64
+}
+
+// New builds a runner for the configuration.
+func New(cfg Config) (*Runner, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Runner{
+		cfg:       cfg,
+		bus:       mem.NewBus(cfg.Mem),
+		rec:       &trace.Recorder{},
+		dlmix:     workload.NewDeadlineMix(cfg.Seed),
+		twByBench: map[string]int64{},
+	}
+	// tw per benchmark: execution time at the requested 7 ways with an
+	// unloaded memory system, inflated by the overspecification margin.
+	// The table engine reads the calibrated curve; the trace engine
+	// profiles the benchmark through the real cache first (the paper
+	// likewise derives requests from profiled behaviour).
+	reqWays := cfg.RequestWays
+	if reqWays == 0 {
+		reqWays = qos.PresetMedium().CacheWays
+	}
+	r.reqWays = reqWays
+	twJobs := cfg.Workload.Jobs
+	for _, sj := range cfg.Script {
+		twJobs = append(twJobs[:len(twJobs):len(twJobs)], sj.Template)
+	}
+	for _, jt := range twJobs {
+		key := twKey(jt)
+		if _, ok := r.twByBench[key]; ok {
+			continue
+		}
+		p := resolveProfile(jt)
+		var mr float64
+		if cfg.Engine == EngineTrace && cfg.ModelL1 {
+			// Cold hierarchy profile: measure the post-L1 operating
+			// point this job length actually sees.
+			h2m, mrm := probeHierarchy(cfg, p, reqWays)
+			cpi := cfg.CPU.CPI(p.CPIL1Inf, h2m, h2m*mrm*p.MaxPhaseScale(), float64(cfg.Mem.BaseCycles))
+			tw := int64(float64(cfg.JobInstr) * cpi * cfg.TwMargin)
+			r.twByBench[key] = tw
+			if tw > r.refTW {
+				r.refTW = tw
+			}
+			continue
+		}
+		if cfg.Engine == EngineTrace {
+			// Cold-start profile over the job's own access count: short
+			// trace jobs pay a compulsory-miss fraction a steady-state
+			// probe would hide, and tw must cover it.
+			singleOwner := cfg.L2
+			singleOwner.Owners = 1
+			accesses := int(float64(cfg.JobInstr) * p.L2APA)
+			if accesses > 400_000 {
+				accesses = 400_000
+			}
+			if accesses < 20_000 {
+				accesses = 20_000
+			}
+			mr = cache.ProbeMissRatio(singleOwner, p.NewStream(cfg.Seed, 0), reqWays, 0, accesses)
+		} else {
+			mr = p.MissRatio(reqWays)
+		}
+		// The maximum wall-clock request budgets the worst phase (§3.1's
+		// dynamic behaviour): calmer phases become internal fragmentation.
+		cpi := cfg.CPU.CPI(p.CPIL1Inf, p.L2APA, p.L2APA*mr*p.MaxPhaseScale(), float64(cfg.Mem.BaseCycles))
+		tw := int64(float64(cfg.JobInstr) * cpi * cfg.TwMargin)
+		r.twByBench[key] = tw
+		if tw > r.refTW {
+			r.refTW = tw
+		}
+	}
+	r.twInstr = cfg.JobInstr
+	r.arrivals = workload.NewArrivals(cfg.Seed+1, cfg.ProbesPerTw, r.refTW)
+	r.nextArr = r.arrivals.Next()
+
+	if !cfg.Policy.noAdmission() {
+		opts := []qos.LACOption{qos.WithOpportunisticPerCore(cfg.OppPerCore)}
+		if cfg.Policy == AllStrictAutoDown {
+			opts = append(opts, qos.WithAutoDowngrade(),
+				qos.WithAutoDowngradeMinSlack(cfg.AutoDownMinSlack))
+		}
+		r.lac = qos.NewLAC(qos.ResourceVector{Cores: cfg.Cores, CacheWays: cfg.L2.Ways}, opts...)
+	}
+	switch cfg.Engine {
+	case EngineTrace:
+		r.model = newTraceModel(cfg)
+	default:
+		r.model = newTableModel(cfg.CPU)
+	}
+	r.coreSched = make([]coreSchedState, cfg.Cores)
+	return r, nil
+}
+
+// Recorder exposes the event recorder (populated during Run).
+func (r *Runner) Recorder() *trace.Recorder { return r.rec }
+
+// Run executes the simulation and returns its report.
+func (r *Runner) Run() (*Report, error) {
+	for !r.done() {
+		if r.now > r.cfg.MaxCycles {
+			return nil, fmt.Errorf("sim: exceeded safety horizon %d cycles with %d/%d accepted jobs done",
+				r.cfg.MaxCycles, r.doneCount(), len(r.accepted))
+		}
+		r.step()
+	}
+	return r.report(), nil
+}
+
+// step advances the simulation by one epoch.
+func (r *Runner) step() {
+	epochEnd := r.now + r.cfg.EpochCycles
+	if !r.external {
+		r.processArrivals(epochEnd)
+	}
+	r.startJobs()
+	r.switchBacks()
+	byCore := r.assignCores()
+	r.assignWays(byCore)
+	r.model.applyPartition(byCore, r.now)
+	r.advanceAll(byCore)
+	r.accountFragmentation(byCore)
+	r.bus.Roll(r.cfg.EpochCycles)
+	r.sample()
+	r.now = epochEnd
+	r.epochIdx++
+}
+
+// accountFragmentation accrues the epoch's idle and wasted resources.
+// Internal fragmentation is a *reservation* concept (§3.4): it counts
+// reserved-but-unneeded capacity, so only cores running reserved jobs
+// contribute, and EqualPart — which reserves nothing — reports zero by
+// definition. A job's "useful" ways are where its miss curve's marginal
+// benefit drops below 1% of its 1-way miss ratio; reserving beyond that
+// is the capacity resource stealing recovers.
+func (r *Runner) accountFragmentation(byCore [][]*Job) {
+	busyCores := 0
+	usedWays := 0.0
+	internal := 0.0
+	for _, jobs := range byCore {
+		if len(jobs) == 0 {
+			continue
+		}
+		busyCores++
+		// Jobs timesharing a core share one partition: count the core's
+		// allocation once (the widest job's share).
+		coreWays, coreUseful := 0.0, 0.0
+		reserved := false
+		for _, j := range jobs {
+			if j.WaysF > coreWays {
+				coreWays = j.WaysF
+			}
+			if u := usefulWays(j.Profile); u > coreUseful {
+				coreUseful = u
+			}
+			if j.ReservedRunning(r.now) {
+				reserved = true
+			}
+		}
+		usedWays += coreWays
+		if reserved && !r.cfg.Policy.noAdmission() && coreWays > coreUseful {
+			internal += coreWays - coreUseful
+		}
+	}
+	r.fragIdleCores += float64(r.cfg.Cores - busyCores)
+	if idle := float64(r.cfg.L2.Ways) - usedWays; idle > 0 {
+		r.fragIdleWays += idle
+	}
+	r.fragInternal += internal
+}
+
+// usefulWays is the smallest allocation beyond which the profile's miss
+// curve is nearly flat.
+func usefulWays(p workload.Profile) float64 {
+	eps := p.MissRatio(1) * 0.01
+	for w := 1; w < 16; w++ {
+		if p.MissRatio(w)-p.MissRatio(w+1) < eps {
+			return float64(w)
+		}
+	}
+	return 16
+}
+
+// sample records one telemetry point when series recording is enabled.
+func (r *Runner) sample() {
+	if !r.cfg.RecordSeries {
+		return
+	}
+	stride := int64(r.cfg.SeriesStride)
+	if stride <= 0 {
+		stride = 16
+	}
+	if r.epochIdx%stride != 0 {
+		return
+	}
+	s := SeriesSample{Cycle: r.now, BusUtil: r.bus.Utilization()}
+	for _, j := range r.accepted {
+		switch j.State {
+		case StateRunning:
+			s.Running++
+			if j.ReservedRunning(r.now) {
+				s.ReservedWays += int(j.WaysF)
+			} else {
+				s.OppJobs++
+			}
+		case StateWaiting:
+			s.Waiting++
+		}
+	}
+	r.series = append(r.series, s)
+}
+
+// idle reports whether every accepted job has finished.
+func (r *Runner) idle() bool { return r.doneCount() == len(r.accepted) }
+
+func (r *Runner) doneCount() int {
+	n := 0
+	for _, j := range r.accepted {
+		if j.State == StateDone || j.State == StateTerminated {
+			n++
+		}
+	}
+	return n
+}
+
+func (r *Runner) done() bool {
+	if len(r.cfg.Script) > 0 {
+		return r.scriptPos == len(r.cfg.Script) && r.doneCount() == len(r.accepted)
+	}
+	return len(r.accepted) >= r.cfg.AcceptTarget && r.doneCount() == len(r.accepted)
+}
+
+// processArrivals submits every job arriving before epochEnd, until the
+// workload's accept target is reached (Poisson mode) or the script is
+// exhausted (scripted mode).
+func (r *Runner) processArrivals(epochEnd int64) {
+	if len(r.cfg.Script) > 0 {
+		for r.scriptPos < len(r.cfg.Script) && r.cfg.Script[r.scriptPos].Arrival < epochEnd {
+			sj := r.cfg.Script[r.scriptPos]
+			r.scriptPos++
+			ta := sj.Arrival
+			if ta < r.now {
+				ta = r.now
+			}
+			dl := r.dlmix.Next()
+			save := r.cfg.DeadlineFactor
+			saveInstr := r.cfg.JobInstr
+			if sj.DeadlineFactor > 0 {
+				r.cfg.DeadlineFactor = sj.DeadlineFactor
+			}
+			if sj.Instr > 0 {
+				r.cfg.JobInstr = sj.Instr
+			}
+			r.submitTemplate(sj.Template, dl, ta)
+			r.cfg.DeadlineFactor = save
+			r.cfg.JobInstr = saveInstr
+		}
+		return
+	}
+	for r.nextArr < epochEnd && len(r.accepted) < r.cfg.AcceptTarget {
+		ta := r.nextArr
+		if ta < r.now {
+			ta = r.now
+		}
+		r.submit(ta)
+		r.nextArr = r.arrivals.Next()
+	}
+}
+
+func (r *Runner) submit(ta int64) {
+	// The workload composition describes the *accepted* jobs (Table 2's
+	// percentages and Table 3's mixes are over the ten-job workload):
+	// slot k of the composition is retried on every submission until a
+	// job is accepted into it.
+	tmpl := r.cfg.Workload.Jobs[len(r.accepted)%len(r.cfg.Workload.Jobs)]
+	dl := r.dlmix.Next()
+	r.submitTemplate(tmpl, dl, ta)
+}
+
+// probeHierarchy cold-measures a profile's post-L1 h2 and L2 miss ratio
+// over the job's own reference count, at the requested way allocation.
+func probeHierarchy(cfg Config, p workload.Profile, ways int) (h2, missRatio float64) {
+	l2 := cfg.L2
+	l2.Owners = 1
+	h := cache.NewHierarchy(1, cfg.L1, l2)
+	h.L2().SetTarget(0, ways)
+	h.L2().SetClass(0, cache.ClassReserved)
+	ms := p.NewMemStream(cfg.Seed, 0)
+	n := int(float64(cfg.JobInstr) * workload.MemRefsPerInstr)
+	if n > 1_000_000 {
+		n = 1_000_000
+	}
+	if n < 50_000 {
+		n = 50_000
+	}
+	for i := 0; i < n; i++ {
+		h.Access(0, ms.Next())
+	}
+	refs, l1m, l2m := h.Stats(0)
+	instr := float64(refs) / workload.MemRefsPerInstr
+	h2 = float64(l1m) / instr
+	if l1m > 0 {
+		missRatio = float64(l2m) / float64(l1m)
+	}
+	return h2, missRatio
+}
+
+// twKey identifies a template's wall-clock budget: phased variants of
+// the same benchmark budget differently.
+func twKey(jt workload.JobTemplate) string {
+	if len(jt.Phases) == 0 {
+		return jt.Benchmark
+	}
+	return fmt.Sprintf("%s|%v", jt.Benchmark, jt.Phases)
+}
+
+// resolveProfile materializes a template's profile, applying any phase
+// override.
+func resolveProfile(jt workload.JobTemplate) workload.Profile {
+	p := workload.MustByName(jt.Benchmark)
+	if len(jt.Phases) > 0 {
+		p = p.WithPhases(jt.Phases...)
+	}
+	return p
+}
+
+// probeTemplate asks this node's LAC, without side effects, whether it
+// could accept the job and when it would start. The GAC layer of the
+// cluster simulation uses this.
+func (r *Runner) probeTemplate(tmpl workload.JobTemplate, dl workload.DeadlineClass, ta int64) (start int64, ok bool) {
+	if r.lac == nil {
+		return ta, true
+	}
+	tw := r.twByBench[twKey(tmpl)]
+	factor := dl.Factor()
+	if r.cfg.DeadlineFactor > 0 {
+		factor = r.cfg.DeadlineFactor
+	}
+	d := r.lac.Probe(qos.Request{
+		JobID: -1,
+		Target: qos.RUM{
+			Resources:    qos.ResourceVector{Cores: 1, CacheWays: r.reqWays},
+			MaxWallClock: tw,
+			Deadline:     ta + int64(factor*float64(tw)),
+		},
+		Mode:    r.cfg.ModeForHint(tmpl.Hint),
+		Arrival: ta,
+	})
+	return d.Start, d.Accepted
+}
+
+// submitTemplate runs one admission attempt and returns whether the job
+// was accepted.
+func (r *Runner) submitTemplate(tmpl workload.JobTemplate, dl workload.DeadlineClass, ta int64) bool {
+	r.submitIdx++
+	id := r.submitIdx
+	prof := resolveProfile(tmpl)
+	tw := r.twByBench[twKey(tmpl)]
+	if r.cfg.JobInstr != r.twInstr {
+		// Scripted per-job instruction override: tw scales with length.
+		tw = int64(float64(tw) * float64(r.cfg.JobInstr) / float64(r.twInstr))
+	}
+	factor := dl.Factor()
+	if r.cfg.DeadlineFactor > 0 {
+		factor = r.cfg.DeadlineFactor
+	}
+	td := ta + int64(factor*float64(tw))
+	instr := r.cfg.JobInstr
+	if r.cfg.OverrunFactor > 1 && len(r.accepted) == r.cfg.OverrunJobSlot {
+		// Failure injection: this job's user underspecified tw.
+		instr = int64(float64(instr) * r.cfg.OverrunFactor)
+	}
+	j := &Job{
+		ID:           id,
+		Profile:      prof,
+		Hint:         tmpl.Hint,
+		Mode:         r.cfg.ModeForHint(tmpl.Hint),
+		DlClass:      dl,
+		Arrival:      ta,
+		TW:           tw,
+		Deadline:     td,
+		InstrTotal:   instr,
+		Core:         -1,
+		WaysReserved: r.reqWays,
+	}
+	r.jobs = append(r.jobs, j)
+	r.rec.Record(trace.Event{Cycle: ta, JobID: id, Kind: trace.Submitted})
+
+	if r.cfg.Policy.noAdmission() {
+		// No admission control: every job is accepted and handed to the
+		// OS scheduler immediately.
+		j.State = StateWaiting
+		j.StartAt = ta
+		r.accepted = append(r.accepted, j)
+		r.rec.Record(trace.Event{Cycle: ta, JobID: id, Kind: trace.Accepted, Detail: ta})
+		return true
+	}
+
+	req := qos.Request{
+		JobID: id,
+		Target: qos.RUM{
+			Resources:    qos.ResourceVector{Cores: 1, CacheWays: r.reqWays},
+			MaxWallClock: tw,
+			Deadline:     td,
+		},
+		Mode:    j.Mode,
+		Arrival: ta,
+	}
+	dec := r.lac.Admit(req)
+	if !dec.Accepted {
+		j.State = StateRejected
+		r.rejected++
+		r.rec.Record(trace.Event{Cycle: ta, JobID: id, Kind: trace.Rejected})
+		return false
+	}
+	j.ReservationID = dec.ReservationID
+	switch {
+	case dec.AutoDowngraded:
+		j.AutoDowngraded = true
+		j.SwitchBack = dec.SwitchBack
+		j.StartAt = ta // runs opportunistically right away
+	case j.Mode.Reserves():
+		j.StartAt = dec.Start
+	default:
+		j.StartAt = ta
+	}
+	j.State = StateWaiting
+	r.accepted = append(r.accepted, j)
+	r.rec.Record(trace.Event{Cycle: ta, JobID: id, Kind: trace.Accepted, Detail: dec.Start})
+	return true
+}
+
+// startJobs moves waiting jobs whose start time has come into the
+// running state.
+func (r *Runner) startJobs() {
+	for _, j := range r.accepted {
+		if j.State != StateWaiting || j.StartAt > r.now {
+			continue
+		}
+		j.State = StateRunning
+		j.Started = r.now
+		if j.Mode.Kind == qos.KindElastic && !r.cfg.DisableStealing {
+			j.Stealer = steal.New(j.Mode.Slack, j.WaysReserved, 1)
+		}
+		r.rec.Record(trace.Event{Cycle: r.now, JobID: j.ID, Kind: trace.Started})
+		if j.AutoDowngraded {
+			r.rec.Record(trace.Event{Cycle: r.now, JobID: j.ID, Kind: trace.Downgraded})
+		}
+	}
+}
+
+// switchBacks reverts auto-downgraded jobs to the Strict mode when their
+// reserved timeslot begins.
+func (r *Runner) switchBacks() {
+	for _, j := range r.accepted {
+		if j.State == StateRunning && j.AutoDowngraded && !j.switched && r.now >= j.SwitchBack {
+			j.switched = true
+			r.rec.Record(trace.Event{Cycle: r.now, JobID: j.ID, Kind: trace.SwitchedBack})
+		}
+	}
+}
+
+// assignCores pins jobs to cores for this epoch: one reserved job per
+// core; Opportunistic jobs share the cores free of reserved jobs (§5).
+// EqualPart balances all jobs across all cores, modelling the default OS
+// scheduler.
+func (r *Runner) assignCores() [][]*Job {
+	byCore := make([][]*Job, r.cfg.Cores)
+	if r.cfg.Policy.noAdmission() {
+		load := make([]int, r.cfg.Cores)
+		var unplaced []*Job
+		for _, j := range r.accepted {
+			if j.State != StateRunning {
+				continue
+			}
+			if j.Core >= 0 {
+				load[j.Core]++
+			} else {
+				unplaced = append(unplaced, j)
+			}
+		}
+		for _, j := range unplaced {
+			c := minIndex(load)
+			j.Core = c
+			load[c]++
+			r.model.jobStarted(j)
+		}
+		for _, j := range r.accepted {
+			if j.State == StateRunning {
+				byCore[j.Core] = append(byCore[j.Core], j)
+			}
+		}
+		return byCore
+	}
+
+	reservedOn := make([]*Job, r.cfg.Cores)
+	var needCore []*Job
+	var opps []*Job
+	for _, j := range r.accepted {
+		if j.State != StateRunning {
+			continue
+		}
+		if j.ReservedRunning(r.now) {
+			if j.Core >= 0 && reservedOn[j.Core] == nil {
+				reservedOn[j.Core] = j
+			} else {
+				j.Core = -1
+				needCore = append(needCore, j)
+			}
+		} else {
+			opps = append(opps, j)
+		}
+	}
+	for _, j := range needCore {
+		placed := false
+		for c := 0; c < r.cfg.Cores; c++ {
+			if reservedOn[c] == nil {
+				reservedOn[c] = j
+				j.Core = c
+				placed = true
+				r.model.jobStarted(j)
+				break
+			}
+		}
+		if !placed {
+			// The LAC's reservation accounting should make this
+			// impossible; stall the job for an epoch if it happens.
+			j.Core = -1
+		}
+	}
+	// Opportunistic jobs: only on cores without reserved jobs.
+	load := make([]int, r.cfg.Cores)
+	var freeCores []int
+	for c := 0; c < r.cfg.Cores; c++ {
+		if reservedOn[c] == nil {
+			freeCores = append(freeCores, c)
+		}
+	}
+	var oppUnplaced []*Job
+	for _, j := range opps {
+		if j.Core >= 0 && reservedOn[j.Core] == nil {
+			load[j.Core]++
+		} else {
+			j.Core = -1
+			oppUnplaced = append(oppUnplaced, j)
+		}
+	}
+	for _, j := range oppUnplaced {
+		if len(freeCores) == 0 {
+			continue // stall: every core hosts a reserved job
+		}
+		best := freeCores[0]
+		for _, c := range freeCores {
+			if load[c] < load[best] {
+				best = c
+			}
+		}
+		j.Core = best
+		load[best]++
+		r.model.jobStarted(j)
+	}
+	for _, j := range r.accepted {
+		if j.State == StateRunning && j.Core >= 0 {
+			byCore[j.Core] = append(byCore[j.Core], j)
+		}
+	}
+	return byCore
+}
+
+func minIndex(xs []int) int {
+	best := 0
+	for i, x := range xs {
+		if x < xs[best] {
+			best = i
+		}
+		_ = x
+	}
+	return best
+}
+
+// assignWays sets each running job's effective way allocation for the
+// epoch: reserved jobs get their (possibly stolen-from) reservation;
+// Opportunistic jobs share the unallocated pool; EqualPart splits the
+// cache evenly across cores.
+func (r *Runner) assignWays(byCore [][]*Job) {
+	if r.cfg.Policy == EqualPart {
+		per := float64(r.cfg.L2.Ways) / float64(r.cfg.Cores)
+		for _, jobs := range byCore {
+			for _, j := range jobs {
+				j.WaysF = per
+			}
+		}
+		return
+	}
+	if r.cfg.Policy == UCPPart {
+		r.assignWaysUCP(byCore)
+		return
+	}
+	reservedWays := 0
+	var oppJobs []*Job
+	for _, jobs := range byCore {
+		for _, j := range jobs {
+			if j.ReservedRunning(r.now) {
+				w := j.WaysReserved
+				if j.Stealer != nil {
+					w = j.Stealer.Ways()
+				}
+				j.WaysF = float64(w)
+				reservedWays += w
+			} else {
+				oppJobs = append(oppJobs, j)
+			}
+		}
+	}
+	pool := float64(r.cfg.L2.Ways - reservedWays)
+	if len(oppJobs) > 0 {
+		per := pool / float64(len(oppJobs))
+		if per < 0.25 {
+			per = 0.25 // a thrashing minimum; opportunistic jobs never stop
+		}
+		for _, j := range oppJobs {
+			j.WaysF = per
+		}
+	}
+}
+
+// assignWaysUCP repartitions the L2 by utility each epoch: one demand
+// per busy core (its hungriest job's miss curve), allocated with the
+// lookahead greedy of internal/alloc. Idle cores release their share.
+func (r *Runner) assignWaysUCP(byCore [][]*Job) {
+	var demands []alloc.Demand
+	var cores []int
+	for c, jobs := range byCore {
+		if len(jobs) == 0 {
+			continue
+		}
+		best := jobs[0].Profile
+		for _, j := range jobs[1:] {
+			if j.Profile.L2APA > best.L2APA {
+				best = j.Profile
+			}
+		}
+		demands = append(demands, alloc.Demand{Profile: best})
+		cores = append(cores, c)
+	}
+	if len(demands) == 0 {
+		return
+	}
+	ways := alloc.UCP(demands, r.cfg.L2.Ways)
+	for i, c := range cores {
+		for _, j := range byCore[c] {
+			j.WaysF = float64(ways[i])
+		}
+	}
+}
+
+// advanceAll retires one epoch of work on every core (processor-sharing
+// among the jobs pinned to a core), runs the stealing controller at its
+// repartitioning intervals, and completes jobs.
+func (r *Runner) advanceAll(byCore [][]*Job) {
+	epoch := r.cfg.EpochCycles
+	for core, jobs := range byCore {
+		switch {
+		case len(jobs) == 0:
+			continue
+		case len(jobs) > 1 && r.cfg.SchedQuantumCycles > 0:
+			r.advanceCoreRR(core, jobs, epoch)
+		default:
+			// Processor sharing: every job gets an equal slice of the
+			// epoch (the default idealization of a fair scheduler).
+			share := epoch / int64(len(jobs))
+			for _, j := range jobs {
+				r.advanceJob(j, share, int64(len(jobs)), 0)
+			}
+		}
+	}
+}
+
+// advanceCoreRR timeshares one core's jobs with a quantum-based
+// round-robin scheduler, charging a context-switch penalty (register
+// state plus cold-cache warmup) whenever the running job changes — the
+// OS-realism model for the EqualPart baseline and for Opportunistic
+// pile-ups.
+func (r *Runner) advanceCoreRR(core int, jobs []*Job, epoch int64) {
+	st := &r.coreSched[core]
+	remaining := epoch
+	offset := int64(0)
+	for remaining > 0 {
+		live := liveJobs(jobs)
+		if len(live) == 0 {
+			return
+		}
+		j := live[st.rrIndex%len(live)]
+		if st.quantumLeft <= 0 {
+			st.quantumLeft = r.cfg.SchedQuantumCycles
+		}
+		run := st.quantumLeft
+		if run > remaining {
+			run = remaining
+		}
+		r.advanceJob(j, run, 1, offset)
+		offset += run
+		remaining -= run
+		st.quantumLeft -= run
+		if st.quantumLeft <= 0 && len(live) > 1 {
+			st.rrIndex++
+			// Context-switch penalty comes out of the epoch budget.
+			if pen := r.cfg.SwitchPenaltyCycles; pen > 0 {
+				if pen > remaining {
+					pen = remaining
+				}
+				offset += pen
+				remaining -= pen
+			}
+		}
+	}
+}
+
+// liveJobs filters a core list down to still-running jobs (completion
+// inside the epoch removes them from rotation).
+func liveJobs(jobs []*Job) []*Job {
+	live := jobs[:0:0]
+	for _, j := range jobs {
+		if j.State == StateRunning {
+			live = append(live, j)
+		}
+	}
+	return live
+}
+
+// advanceJob retires up to shareCycles worth of work for one job.
+// sharers is the processor-sharing degree (wall-clock per consumed cycle);
+// offset positions the work inside the epoch for completion timestamps.
+func (r *Runner) advanceJob(j *Job, shareCycles, sharers, offset int64) {
+	epoch := r.cfg.EpochCycles
+	pen := r.penaltyFor(j)
+	cpi := r.model.cpiFor(j, pen)
+	instr := int64(float64(shareCycles) / cpi)
+	if instr > j.Remaining() {
+		instr = j.Remaining()
+	}
+	if instr <= 0 {
+		instr = 1
+	}
+	misses, writeBacks := r.model.advance(j, instr)
+	r.bus.AddMisses(misses)
+	r.bus.AddWriteBacks(writeBacks)
+	consumed := int64(float64(instr) * cpi)
+	j.InstrDone += instr
+	j.ActualCycles += consumed
+	if j.Stealer != nil {
+		j.BaselineCycles += float64(instr) * j.Profile.CPIF(r.cfg.CPU, float64(j.WaysReserved), pen)
+	} else {
+		j.BaselineCycles += float64(instr) * cpi
+	}
+	r.runStealing(j, instr)
+	if r.cfg.EnforceWallClock && r.overBudget(j) {
+		j.Completed = r.now + offset + shareCycles
+		if j.Completed > r.now+epoch {
+			j.Completed = r.now + epoch
+		}
+		j.State = StateTerminated
+		j.Core = -1
+		if r.lac != nil {
+			r.lac.Complete(j.ID, j.Mode, j.Completed)
+		}
+		r.rec.Record(trace.Event{Cycle: j.Completed, JobID: j.ID, Kind: trace.Terminated})
+		return
+	}
+	if j.Remaining() == 0 {
+		wall := offset + consumed*sharers
+		if wall > epoch {
+			wall = epoch
+		}
+		j.Completed = r.now + wall
+		j.State = StateDone
+		j.Core = -1
+		if r.lac != nil {
+			r.lac.Complete(j.ID, j.Mode, j.Completed)
+		}
+		r.rec.Record(trace.Event{
+			Cycle: j.Completed, JobID: j.ID, Kind: trace.Completed,
+			DeadlineMet: j.MetDeadline(),
+		})
+	}
+}
+
+// coreSchedState is one core's round-robin scheduler state.
+type coreSchedState struct {
+	rrIndex     int
+	quantumLeft int64
+}
+
+// penaltyFor returns the job's contention-adjusted memory penalty,
+// honoring the reserved-over-opportunistic bus prioritization when the
+// configuration enables it (§4.2 footnote 2).
+func (r *Runner) penaltyFor(j *Job) float64 {
+	if !r.cfg.PrioritizeBus || r.cfg.Policy.noAdmission() {
+		return r.bus.MissPenalty()
+	}
+	if j.ReservedRunning(r.now) {
+		return r.bus.MissPenaltyFor(mem.PrioReserved)
+	}
+	return r.bus.MissPenaltyFor(mem.PrioOpportunistic)
+}
+
+// overBudget reports whether a reserved-running job has exhausted its
+// reserved wall-clock budget: tw for Strict, tw·(1+X) for Elastic, and
+// the deadline for auto-downgraded jobs (whose reservation ends there).
+func (r *Runner) overBudget(j *Job) bool {
+	if j.State != StateRunning || !j.ReservedRunning(r.now) {
+		return false
+	}
+	var budgetEnd int64
+	switch {
+	case j.AutoDowngraded:
+		budgetEnd = j.Deadline
+	case j.Mode.Kind == qos.KindElastic:
+		budgetEnd = j.Started + j.Mode.ReservationLength(j.TW)
+	default:
+		budgetEnd = j.Started + j.TW
+	}
+	return r.now >= budgetEnd
+}
+
+// runStealing advances the Elastic job's repartitioning interval clock
+// and applies the controller's actions.
+func (r *Runner) runStealing(j *Job, instr int64) {
+	if j.Stealer == nil || j.State != StateRunning {
+		return
+	}
+	j.instrLastSteal += instr
+	for j.instrLastSteal >= r.cfg.StealIntervalInstr {
+		j.instrLastSteal -= r.cfg.StealIntervalInstr
+		// Pause (without rolling back) while the bus is saturated (§4.2
+		// footnote 2) or the shadow baseline is not trustworthy yet.
+		pause := r.bus.Saturated() || !r.model.stealReady(j)
+		switch j.Stealer.OnInterval(j.MainMisses, j.ShadowMisses, pause) {
+		case steal.StealOne:
+			r.rec.Record(trace.Event{Cycle: r.now, JobID: j.ID, Kind: trace.StealWay,
+				Detail: int64(j.Stealer.Ways())})
+		case steal.Rollback:
+			r.rec.Record(trace.Event{Cycle: r.now, JobID: j.ID, Kind: trace.RollbackSteal,
+				Detail: int64(j.Stealer.Ways())})
+		}
+	}
+}

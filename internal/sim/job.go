@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"fmt"
+
+	"cmpqos/internal/qos"
+	"cmpqos/internal/steal"
+	"cmpqos/internal/workload"
+)
+
+// JobState is the lifecycle stage of a job inside the simulator.
+type JobState int
+
+const (
+	// StateWaiting: accepted, waiting for its reserved timeslot.
+	StateWaiting JobState = iota
+	// StateRunning: executing on a core.
+	StateRunning
+	// StateDone: completed.
+	StateDone
+	// StateRejected: admission control refused the job.
+	StateRejected
+	// StateTerminated: the job exceeded its reserved wall-clock budget
+	// and was killed by the enforcement policy.
+	StateTerminated
+)
+
+// String names the state.
+func (s JobState) String() string {
+	switch s {
+	case StateWaiting:
+		return "waiting"
+	case StateRunning:
+		return "running"
+	case StateDone:
+		return "done"
+	case StateRejected:
+		return "rejected"
+	case StateTerminated:
+		return "terminated"
+	}
+	return fmt.Sprintf("JobState(%d)", int(s))
+}
+
+// Job is one unit of aperiodic computation with its own QoS target
+// (§3.1): here, one instance of a single-threaded benchmark.
+type Job struct {
+	ID      int
+	Profile workload.Profile
+	Hint    workload.ModeHint
+	Mode    qos.Mode
+	DlClass workload.DeadlineClass
+	State   JobState
+
+	// Timeslot parameters (cycles).
+	Arrival  int64
+	TW       int64 // maximum wall-clock time
+	Deadline int64 // absolute
+
+	// Outcome.
+	StartAt   int64 // when the job becomes eligible to run
+	Started   int64
+	Completed int64
+	switched  bool // auto-downgraded job has reverted to Strict
+
+	// Execution progress.
+	InstrTotal int64
+	InstrDone  int64
+	Core       int // -1 when unassigned
+
+	// Resource allocation.
+	WaysReserved int     // the RUM request (0 for opportunistic)
+	WaysF        float64 // effective ways this epoch (fractional for shared pools)
+
+	// Automatic downgrade state (§3.4).
+	AutoDowngraded bool
+	SwitchBack     int64 // cycle at which the job reverts to Strict
+	ReservationID  int
+
+	// Resource stealing (Elastic jobs only).
+	Stealer        *steal.Controller
+	instrLastSteal int64
+	// Cumulative miss counts for the stealing guard and the Figure 8
+	// metrics: with stealing (main) and without (shadow/baseline).
+	MainMisses   int64
+	ShadowMisses int64
+	// Cycle accounting for the CPI-increase metric: actual cycles spent
+	// vs the cycles the job would have spent at its original allocation.
+	ActualCycles   int64
+	BaselineCycles float64
+
+	// Trace-engine state.
+	stream        *workload.Stream
+	memStream     *workload.MemStream // full-hierarchy mode
+	lastMissRatio float64
+	lastH2        float64 // measured L2 accesses/instr (full-hierarchy mode)
+	seeded        bool
+	writeLCG      uint64 // deterministic store/load decision stream
+}
+
+// nextWrite decides whether the next trace access is a store, using a
+// cheap per-job LCG so the stream is deterministic and independent of
+// the address generator.
+func (j *Job) nextWrite() bool {
+	if j.writeLCG == 0 {
+		j.writeLCG = uint64(j.ID)*2862933555777941757 + 3037000493
+	}
+	j.writeLCG = j.writeLCG*6364136223846793005 + 1442695040888963407
+	return float64(j.writeLCG>>40)/float64(1<<24) < workload.WriteFraction
+}
+
+// ReservedRunning reports whether the job currently executes with
+// reserved resources (Strict/Elastic, or an auto-downgraded job after
+// its switch-back).
+func (j *Job) ReservedRunning(now int64) bool {
+	if j.State != StateRunning {
+		return false
+	}
+	if j.Mode.Kind == qos.KindOpportunistic {
+		return false
+	}
+	if j.AutoDowngraded && now < j.SwitchBack {
+		return false
+	}
+	return true
+}
+
+// Opportunistic reports whether the job currently scavenges rather than
+// owns resources.
+func (j *Job) Opportunistic(now int64) bool {
+	return j.State == StateRunning && !j.ReservedRunning(now)
+}
+
+// Remaining returns instructions left to retire.
+func (j *Job) Remaining() int64 { return j.InstrTotal - j.InstrDone }
+
+// WallClock returns the job's execution duration, valid once done.
+func (j *Job) WallClock() int64 { return j.Completed - j.Started }
+
+// MetDeadline reports whether the job completed by its deadline (jobs
+// without deadlines trivially meet them).
+func (j *Job) MetDeadline() bool {
+	return j.Deadline == 0 || j.Completed <= j.Deadline
+}
+
+// MissIncrease returns the job's relative cumulative miss increase due
+// to stealing, the Figure 8(a) metric.
+func (j *Job) MissIncrease() float64 {
+	return steal.ExcessMissRatio(j.MainMisses, j.ShadowMisses)
+}
+
+// CPIIncrease returns the job's relative CPI increase versus running at
+// its original allocation throughout.
+func (j *Job) CPIIncrease() float64 {
+	if j.BaselineCycles <= 0 {
+		return 0
+	}
+	return float64(j.ActualCycles)/j.BaselineCycles - 1
+}

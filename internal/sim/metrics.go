@@ -1,0 +1,244 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cmpqos/internal/qos"
+	"cmpqos/internal/stats"
+	"cmpqos/internal/trace"
+	"cmpqos/internal/workload"
+)
+
+// JobResult is the per-job outcome row of a run.
+type JobResult struct {
+	ID             int
+	Benchmark      string
+	Mode           qos.Mode
+	DlClass        workload.DeadlineClass
+	Arrival        int64
+	Started        int64
+	Completed      int64
+	Deadline       int64
+	WallClock      int64
+	Met            bool
+	AutoDowngraded bool
+	SwitchedBack   bool
+	Terminated     bool
+	MissIncrease   float64 // Elastic jobs: cumulative miss growth from stealing
+	CPIIncrease    float64 // Elastic jobs: CPI growth from stealing
+	WaysStolen     int
+}
+
+// SeriesSample is one telemetry sample of the node's state.
+type SeriesSample struct {
+	Cycle        int64
+	Running      int
+	Waiting      int
+	ReservedWays int
+	OppJobs      int
+	BusUtil      float64
+}
+
+// Fragmentation quantifies the two throughput-loss factors of §3.4/§7.1
+// as fractions of the run's total resource-cycles.
+type Fragmentation struct {
+	// ExternalCores is the fraction of core-cycles with no job running
+	// (e.g. All-Strict leaves two of four cores idle).
+	ExternalCores float64
+	// ExternalWays is the fraction of way-cycles neither reserved by a
+	// running job nor scavenged by an Opportunistic one (e.g. the 2 of
+	// 16 ways no 7-way request can use).
+	ExternalWays float64
+	// InternalWays is the fraction of way-cycles reserved by running
+	// jobs beyond their useful working set — capacity only Elastic-mode
+	// stealing can recover.
+	InternalWays float64
+}
+
+// Report aggregates one run's results into the quantities the paper's
+// figures plot.
+type Report struct {
+	Policy   Policy
+	Engine   Engine
+	Workload string
+
+	Jobs     []JobResult // the accepted jobs, in acceptance order
+	Rejected int
+	// Terminated counts accepted jobs killed for exceeding their
+	// reserved wall-clock budget (EnforceWallClock).
+	Terminated int
+
+	// TotalCycles is the wall-clock to complete all accepted jobs — the
+	// throughput metric of Figure 5(b)/9(b) (lower is better; the
+	// figures plot its inverse normalized to All-Strict).
+	TotalCycles int64
+	// DeadlineHitRate is over Strict/Elastic jobs for QoS policies (as
+	// the paper computes it) and over all jobs for EqualPart.
+	DeadlineHitRate float64
+	// WallClock summaries per mode (Figure 6's candles).
+	WallClockByMode map[string]*stats.Summary
+	// Elastic-job averages (Figure 8a).
+	ElasticMissIncrease float64
+	ElasticCPIIncrease  float64
+	// Opportunistic wall-clock summary (Figure 8b).
+	OppWallClock stats.Summary
+	// LACOccupancy is the modeled controller overhead fraction (§7.5).
+	LACOccupancy float64
+	LACProbes    int64
+
+	// Recorder holds the full event trace; Deadlines maps job ID to its
+	// absolute deadline for Gantt rendering.
+	Recorder  *trace.Recorder
+	Deadlines map[int]int64
+	// Series holds the per-epoch telemetry when RecordSeries is set.
+	Series []SeriesSample
+	// Frag is the run's resource-fragmentation accounting.
+	Frag Fragmentation
+}
+
+// report assembles the Report after the run loop terminates.
+func (r *Runner) report() *Report {
+	rep := &Report{
+		Policy:          r.cfg.Policy,
+		Engine:          r.cfg.Engine,
+		Workload:        r.cfg.Workload.Name,
+		Rejected:        r.rejected,
+		WallClockByMode: map[string]*stats.Summary{},
+		Recorder:        r.rec,
+		Deadlines:       map[int]int64{},
+	}
+	hits, hitDen := 0, 0
+	var elasticMiss, elasticCPI float64
+	elasticN := 0
+	for _, j := range r.accepted {
+		res := JobResult{
+			ID:             j.ID,
+			Benchmark:      j.Profile.Name,
+			Mode:           j.Mode,
+			DlClass:        j.DlClass,
+			Arrival:        j.Arrival,
+			Started:        j.Started,
+			Completed:      j.Completed,
+			Deadline:       j.Deadline,
+			WallClock:      j.WallClock(),
+			Met:            j.MetDeadline() && j.State != StateTerminated,
+			AutoDowngraded: j.AutoDowngraded,
+			SwitchedBack:   j.switched,
+			Terminated:     j.State == StateTerminated,
+		}
+		if res.Terminated {
+			rep.Terminated++
+		}
+		if j.Stealer != nil {
+			res.MissIncrease = j.MissIncrease()
+			res.CPIIncrease = j.CPIIncrease()
+			res.WaysStolen = j.Stealer.Stolen()
+			elasticMiss += res.MissIncrease
+			elasticCPI += res.CPIIncrease
+			elasticN++
+		}
+		rep.Jobs = append(rep.Jobs, res)
+		rep.Deadlines[j.ID] = j.Deadline
+		if j.Completed > rep.TotalCycles {
+			rep.TotalCycles = j.Completed
+		}
+		modeKey := j.Mode.String()
+		if r.cfg.Policy.noAdmission() {
+			modeKey = r.cfg.Policy.String()
+		} else if j.AutoDowngraded {
+			modeKey = "AutoDown"
+		}
+		s, ok := rep.WallClockByMode[modeKey]
+		if !ok {
+			s = &stats.Summary{}
+			rep.WallClockByMode[modeKey] = s
+		}
+		s.Add(float64(j.WallClock()))
+		if j.Mode.Kind == qos.KindOpportunistic {
+			rep.OppWallClock.Add(float64(j.WallClock()))
+		}
+		// Deadline accounting: the paper computes hit rates over Strict
+		// and Elastic jobs for QoS configurations, over everything for
+		// EqualPart.
+		counts := r.cfg.Policy.noAdmission() || j.Mode.Kind != qos.KindOpportunistic
+		if counts {
+			hitDen++
+			if res.Met {
+				hits++
+			}
+		}
+	}
+	if hitDen > 0 {
+		rep.DeadlineHitRate = float64(hits) / float64(hitDen)
+	}
+	if elasticN > 0 {
+		rep.ElasticMissIncrease = elasticMiss / float64(elasticN)
+		rep.ElasticCPIIncrease = elasticCPI / float64(elasticN)
+	}
+	if r.lac != nil {
+		rep.LACOccupancy = r.lac.Occupancy(rep.TotalCycles)
+		rep.LACProbes, _, _ = r.lac.Counters()
+	}
+	rep.Series = r.series
+	if r.epochIdx > 0 {
+		den := float64(r.epochIdx)
+		rep.Frag = Fragmentation{
+			ExternalCores: r.fragIdleCores / (den * float64(r.cfg.Cores)),
+			ExternalWays:  r.fragIdleWays / (den * float64(r.cfg.L2.Ways)),
+			InternalWays:  r.fragInternal / (den * float64(r.cfg.L2.Ways)),
+		}
+	}
+	return rep
+}
+
+// Gantt renders the run as a Figure 7 style execution trace.
+func (rep *Report) Gantt(width int) string {
+	return trace.Gantt(rep.Recorder.Lanes(rep.Deadlines), width)
+}
+
+// Throughput returns jobs per gigacycle — a convenience inverse of
+// TotalCycles.
+func (rep *Report) Throughput() float64 {
+	if rep.TotalCycles == 0 {
+		return 0
+	}
+	return float64(len(rep.Jobs)) / (float64(rep.TotalCycles) / 1e9)
+}
+
+// Speedup returns this report's throughput relative to a baseline run
+// (Figure 5b/9b normalize to All-Strict).
+func (rep *Report) Speedup(baseline *Report) float64 {
+	if rep.TotalCycles == 0 {
+		return 0
+	}
+	return float64(baseline.TotalCycles) / float64(rep.TotalCycles)
+}
+
+// Summary renders a human-readable digest of the run.
+func (rep *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s / %s (engine=%s)\n", rep.Policy, rep.Workload, rep.Engine)
+	fmt.Fprintf(&b, "  accepted %d jobs (%d rejected probes), completed in %d cycles\n",
+		len(rep.Jobs), rep.Rejected, rep.TotalCycles)
+	fmt.Fprintf(&b, "  deadline hit rate %.0f%%\n", rep.DeadlineHitRate*100)
+	keys := make([]string, 0, len(rep.WallClockByMode))
+	for k := range rep.WallClockByMode {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		s := rep.WallClockByMode[k]
+		fmt.Fprintf(&b, "  %-14s wall-clock avg %.0f [min %.0f, max %.0f] n=%d\n",
+			k, s.Mean(), s.Min(), s.Max(), s.Count())
+	}
+	if rep.ElasticMissIncrease != 0 || rep.ElasticCPIIncrease != 0 {
+		fmt.Fprintf(&b, "  elastic: miss +%.1f%%, CPI +%.1f%%\n",
+			rep.ElasticMissIncrease*100, rep.ElasticCPIIncrease*100)
+	}
+	if rep.LACProbes > 0 {
+		fmt.Fprintf(&b, "  LAC: %d probes, occupancy %.3f%%\n", rep.LACProbes, rep.LACOccupancy*100)
+	}
+	return b.String()
+}

@@ -1,0 +1,661 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"cmpqos/internal/qos"
+	"cmpqos/internal/workload"
+)
+
+// fastConfig scales a configuration down for test speed while keeping
+// every relative quantity (deadlines scale with tw).
+func fastConfig(p Policy, w workload.Composition) Config {
+	cfg := DefaultConfig(p, w)
+	cfg.JobInstr = 10_000_000
+	cfg.StealIntervalInstr = 500_000
+	return cfg
+}
+
+func mustRun(t *testing.T, cfg Config) *Report {
+	t.Helper()
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestConfigValidation(t *testing.T) {
+	good := fastConfig(AllStrict, workload.Single("bzip2"))
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.Cores = 0 },
+		func(c *Config) { c.JobInstr = 0 },
+		func(c *Config) { c.EpochCycles = 0 },
+		func(c *Config) { c.StealIntervalInstr = -1 },
+		func(c *Config) { c.ElasticSlack = 0 },
+		func(c *Config) { c.ElasticSlack = 2 },
+		func(c *Config) { c.TwMargin = 0.9 },
+		func(c *Config) { c.AcceptTarget = 0 },
+		func(c *Config) { c.SampleEvery = 3 },
+		func(c *Config) { c.Workload.Jobs = nil },
+		func(c *Config) { c.Workload.Jobs[0].Benchmark = "nope" },
+		func(c *Config) { c.L2.Owners = 2 },
+	}
+	for i, mut := range mutations {
+		cfg := fastConfig(AllStrict, workload.Single("bzip2"))
+		mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestPolicyStringsAndModeMapping(t *testing.T) {
+	names := map[Policy]string{
+		AllStrict: "All-Strict", Hybrid1: "Hybrid-1", Hybrid2: "Hybrid-2",
+		AllStrictAutoDown: "All-Strict+AutoDown", EqualPart: "EqualPart",
+	}
+	for p, want := range names {
+		if p.String() != want {
+			t.Errorf("%d: name %q, want %q", int(p), p.String(), want)
+		}
+	}
+	cfg := fastConfig(Hybrid2, workload.Single("bzip2"))
+	if m := cfg.ModeForHint(workload.HintElastic); m.Kind != qos.KindElastic || m.Slack != cfg.ElasticSlack {
+		t.Errorf("hybrid2 elastic hint -> %v", m)
+	}
+	if m := cfg.ModeForHint(workload.HintOpportunistic); m.Kind != qos.KindOpportunistic {
+		t.Errorf("hybrid2 opportunistic hint -> %v", m)
+	}
+	cfg.Policy = Hybrid1
+	if m := cfg.ModeForHint(workload.HintElastic); m.Kind != qos.KindStrict {
+		t.Errorf("hybrid1 must not honor elastic hints: %v", m)
+	}
+	cfg.Policy = AllStrict
+	if m := cfg.ModeForHint(workload.HintOpportunistic); m.Kind != qos.KindStrict {
+		t.Errorf("all-strict must ignore hints: %v", m)
+	}
+}
+
+func TestAllStrictMeetsAllDeadlines(t *testing.T) {
+	rep := mustRun(t, fastConfig(AllStrict, workload.Single("bzip2")))
+	if len(rep.Jobs) != 10 {
+		t.Fatalf("accepted %d jobs, want 10", len(rep.Jobs))
+	}
+	if rep.DeadlineHitRate != 1.0 {
+		t.Errorf("deadline hit rate = %v, want 1.0 (Figure 5a)", rep.DeadlineHitRate)
+	}
+	for _, j := range rep.Jobs {
+		if j.Mode.Kind != qos.KindStrict {
+			t.Errorf("job %d mode %v in All-Strict", j.ID, j.Mode)
+		}
+		if !j.Met {
+			t.Errorf("job %d missed its deadline", j.ID)
+		}
+	}
+	// Strict jobs have short, almost-constant wall-clock (Figure 6):
+	// spread within 5% of the mean.
+	s := rep.WallClockByMode["Strict"]
+	if s == nil || s.Count() != 10 {
+		t.Fatal("missing Strict wall-clock summary")
+	}
+	if spread := (s.Max() - s.Min()) / s.Mean(); spread > 0.05 {
+		t.Errorf("strict wall-clock spread = %v, want < 5%%", spread)
+	}
+}
+
+func TestHybridModesCompositionOverAccepted(t *testing.T) {
+	rep := mustRun(t, fastConfig(Hybrid2, workload.Single("bzip2")))
+	counts := map[qos.Kind]int{}
+	for _, j := range rep.Jobs {
+		counts[j.Mode.Kind]++
+	}
+	if counts[qos.KindStrict] != 4 || counts[qos.KindElastic] != 3 || counts[qos.KindOpportunistic] != 3 {
+		t.Errorf("accepted mode mix = %v, want 4/3/3 (Table 2 Hybrid-2)", counts)
+	}
+	if rep.DeadlineHitRate != 1.0 {
+		t.Errorf("hybrid-2 reserved-job hit rate = %v, want 1.0", rep.DeadlineHitRate)
+	}
+}
+
+func TestThroughputOrderingAcrossPolicies(t *testing.T) {
+	// Figure 5b's qualitative ordering for a single-benchmark workload:
+	// every optimization beats All-Strict, and Hybrid-2 is at least as
+	// good as Hybrid-1 (they are nearly equal for single workloads).
+	reps := map[Policy]*Report{}
+	for _, p := range Policies() {
+		reps[p] = mustRun(t, fastConfig(p, workload.Single("gobmk")))
+	}
+	base := reps[AllStrict].TotalCycles
+	for _, p := range []Policy{Hybrid1, Hybrid2, AllStrictAutoDown, EqualPart} {
+		if reps[p].TotalCycles >= base {
+			t.Errorf("%v total %d not better than All-Strict %d", p, reps[p].TotalCycles, base)
+		}
+	}
+	// EqualPart is the throughput ceiling for the insensitive benchmark.
+	for _, p := range []Policy{Hybrid1, AllStrictAutoDown} {
+		if reps[EqualPart].TotalCycles > reps[p].TotalCycles {
+			t.Errorf("EqualPart (%d) should beat %v (%d) for gobmk",
+				reps[EqualPart].TotalCycles, p, reps[p].TotalCycles)
+		}
+	}
+	// QoS configurations keep 100% deadline hit rate; EqualPart does not.
+	for _, p := range []Policy{AllStrict, Hybrid1, Hybrid2, AllStrictAutoDown} {
+		if reps[p].DeadlineHitRate != 1.0 {
+			t.Errorf("%v hit rate = %v, want 1.0", p, reps[p].DeadlineHitRate)
+		}
+	}
+	if reps[EqualPart].DeadlineHitRate > 0.7 {
+		t.Errorf("EqualPart hit rate = %v, want well below 1.0", reps[EqualPart].DeadlineHitRate)
+	}
+}
+
+func TestAutoDowngradeBehaviour(t *testing.T) {
+	rep := mustRun(t, fastConfig(AllStrictAutoDown, workload.Single("bzip2")))
+	if rep.DeadlineHitRate != 1.0 {
+		t.Fatalf("auto-downgrade violated deadlines: %v", rep.DeadlineHitRate)
+	}
+	downs := 0
+	for _, j := range rep.Jobs {
+		if j.AutoDowngraded {
+			downs++
+			if j.DlClass == workload.DeadlineTight {
+				t.Errorf("job %d: tight-deadline job was auto-downgraded (Table 2 forbids)", j.ID)
+			}
+		}
+	}
+	if downs == 0 {
+		t.Error("no jobs were auto-downgraded")
+	}
+	// AutoDown increases wall-clock variation versus All-Strict (Fig 6).
+	base := mustRun(t, fastConfig(AllStrict, workload.Single("bzip2")))
+	sBase := base.WallClockByMode["Strict"]
+	sDown := rep.WallClockByMode["AutoDown"]
+	if sDown == nil {
+		t.Fatal("no AutoDown wall-clock summary")
+	}
+	if sDown.Max()-sDown.Min() <= sBase.Max()-sBase.Min() {
+		t.Error("auto-downgraded jobs should show larger wall-clock variation")
+	}
+	// And throughput improves.
+	if rep.TotalCycles >= base.TotalCycles {
+		t.Errorf("AutoDown total %d not better than All-Strict %d", rep.TotalCycles, base.TotalCycles)
+	}
+}
+
+func TestElasticStealingBounds(t *testing.T) {
+	// Figure 8a: the Elastic jobs' cumulative miss increase stays near
+	// or below X, and their CPI increase is strictly smaller.
+	for _, x := range []float64{0.05, 0.10, 0.20} {
+		cfg := fastConfig(Hybrid2, workload.Single("bzip2"))
+		cfg.ElasticSlack = x
+		rep := mustRun(t, cfg)
+		if rep.ElasticMissIncrease <= 0 {
+			t.Errorf("X=%v: no miss increase measured — stealing inactive?", x)
+		}
+		// The rollback happens one interval after crossing X, so allow a
+		// 30% relative overshoot margin.
+		if rep.ElasticMissIncrease > x*1.3 {
+			t.Errorf("X=%v: miss increase %v exceeds the bound", x, rep.ElasticMissIncrease)
+		}
+		if rep.ElasticCPIIncrease >= rep.ElasticMissIncrease {
+			t.Errorf("X=%v: CPI increase %v not below miss increase %v (additive CPI property)",
+				x, rep.ElasticCPIIncrease, rep.ElasticMissIncrease)
+		}
+		if rep.DeadlineHitRate != 1.0 {
+			t.Errorf("X=%v: stealing violated deadlines", x)
+		}
+	}
+}
+
+func TestStealingDisabledAblation(t *testing.T) {
+	on := mustRun(t, fastConfig(Hybrid2, workload.Single("bzip2")))
+	cfg := fastConfig(Hybrid2, workload.Single("bzip2"))
+	cfg.DisableStealing = true
+	off := mustRun(t, cfg)
+	if off.ElasticMissIncrease != 0 {
+		t.Errorf("disabled stealing still increased misses: %v", off.ElasticMissIncrease)
+	}
+	// With stealing on, opportunistic jobs get extra capacity: their
+	// mean wall-clock must not be worse.
+	if on.OppWallClock.Mean() > off.OppWallClock.Mean()*1.02 {
+		t.Errorf("stealing should help opportunistic jobs: on=%v off=%v",
+			on.OppWallClock.Mean(), off.OppWallClock.Mean())
+	}
+}
+
+func TestEqualPartAcceptsEverything(t *testing.T) {
+	rep := mustRun(t, fastConfig(EqualPart, workload.Single("hmmer")))
+	if rep.Rejected != 0 {
+		t.Errorf("EqualPart rejected %d jobs; it has no admission control", rep.Rejected)
+	}
+	if len(rep.Jobs) != 10 {
+		t.Errorf("accepted %d, want 10", len(rep.Jobs))
+	}
+	// Without reservations, wall-clock variation is high (Figure 6).
+	s := rep.WallClockByMode["EqualPart"]
+	if s.Max()/s.Min() < 1.1 {
+		t.Errorf("EqualPart wall-clock too uniform: min=%v max=%v", s.Min(), s.Max())
+	}
+}
+
+func TestMixedWorkloads(t *testing.T) {
+	// Figure 9: both mixes keep 100% reserved-job deadline hit rate
+	// under Hybrid-2, and Mix-1 (favourable) benefits from stealing at
+	// least as much as Mix-2.
+	m1 := mustRun(t, fastConfig(Hybrid2, workload.Mix1()))
+	m2 := mustRun(t, fastConfig(Hybrid2, workload.Mix2()))
+	if m1.DeadlineHitRate != 1.0 || m2.DeadlineHitRate != 1.0 {
+		t.Errorf("mixed workload hit rates = %v/%v, want 1.0", m1.DeadlineHitRate, m2.DeadlineHitRate)
+	}
+	base1 := mustRun(t, fastConfig(AllStrict, workload.Mix1()))
+	base2 := mustRun(t, fastConfig(AllStrict, workload.Mix2()))
+	s1 := m1.Speedup(base1)
+	s2 := m2.Speedup(base2)
+	if s1 <= 1 || s2 <= 1 {
+		t.Errorf("hybrid-2 speedups = %v/%v, want > 1", s1, s2)
+	}
+	// §7.4's core claim: resource stealing is more effective for Mix-1
+	// (insensitive donor, sensitive recipient) than for Mix-2. Measure
+	// the stealing benefit as Hybrid-2's gain over Hybrid-1 per mix.
+	h11 := mustRun(t, fastConfig(Hybrid1, workload.Mix1()))
+	h12 := mustRun(t, fastConfig(Hybrid1, workload.Mix2()))
+	gain1 := float64(h11.TotalCycles) / float64(m1.TotalCycles)
+	gain2 := float64(h12.TotalCycles) / float64(m2.TotalCycles)
+	if gain1 <= gain2 {
+		t.Errorf("stealing benefit for Mix-1 (%v) should exceed Mix-2 (%v)", gain1, gain2)
+	}
+	if gain1 < 1.05 {
+		t.Errorf("Mix-1 stealing benefit %v too small; expected a clear gain", gain1)
+	}
+}
+
+func TestLACOccupancyUnderOnePercent(t *testing.T) {
+	// §7.5 with full-length jobs: occupancy < 1% of wall-clock.
+	cfg := DefaultConfig(AllStrict, workload.Single("bzip2"))
+	cfg.JobInstr = 50_000_000
+	rep := mustRun(t, cfg)
+	if rep.LACOccupancy >= 0.01 {
+		t.Errorf("LAC occupancy = %v, want < 1%%", rep.LACOccupancy)
+	}
+	if rep.LACProbes == 0 {
+		t.Error("no probes recorded")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := mustRun(t, fastConfig(Hybrid2, workload.Single("bzip2")))
+	b := mustRun(t, fastConfig(Hybrid2, workload.Single("bzip2")))
+	if a.TotalCycles != b.TotalCycles || len(a.Jobs) != len(b.Jobs) {
+		t.Fatal("same-seed runs diverged")
+	}
+	for i := range a.Jobs {
+		if a.Jobs[i] != b.Jobs[i] {
+			t.Fatalf("job %d differs between identical runs", i)
+		}
+	}
+	cfg := fastConfig(Hybrid2, workload.Single("bzip2"))
+	cfg.Seed = 99
+	c := mustRun(t, cfg)
+	if c.TotalCycles == a.TotalCycles {
+		t.Log("different seeds produced identical totals (possible but suspicious)")
+	}
+}
+
+func TestGanttRenders(t *testing.T) {
+	rep := mustRun(t, fastConfig(AllStrictAutoDown, workload.Single("bzip2")))
+	g := rep.Gantt(80)
+	if len(g) == 0 || g == "(no completed jobs)\n" {
+		t.Fatalf("gantt empty: %q", g)
+	}
+}
+
+func TestTraceEngineRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trace engine is slow")
+	}
+	cfg := TraceConfig(Hybrid2, workload.Single("bzip2"))
+	rep := mustRun(t, cfg)
+	if rep.DeadlineHitRate != 1.0 {
+		t.Errorf("trace engine hit rate = %v, want 1.0", rep.DeadlineHitRate)
+	}
+	if len(rep.Jobs) != 10 {
+		t.Errorf("trace engine accepted %d jobs", len(rep.Jobs))
+	}
+	// Stealing must be active and bounded under the real shadow tags.
+	if rep.ElasticMissIncrease < 0 || rep.ElasticMissIncrease > cfg.ElasticSlack*3 {
+		// 3X: one repartition interval is 3% of a scaled trace job, so a
+		// steep first steal can overshoot before the guard rolls back.
+		t.Errorf("trace elastic miss increase = %v, want within ~[0, 3X]", rep.ElasticMissIncrease)
+	}
+}
+
+func TestJobStateAndHelpers(t *testing.T) {
+	if StateWaiting.String() != "waiting" || StateDone.String() != "done" {
+		t.Error("state names wrong")
+	}
+	j := &Job{Mode: qos.Strict(), State: StateRunning, Deadline: 100, Completed: 99}
+	if !j.MetDeadline() {
+		t.Error("completion before deadline should be met")
+	}
+	j.Completed = 101
+	if j.MetDeadline() {
+		t.Error("completion after deadline should miss")
+	}
+	j.Deadline = 0
+	if !j.MetDeadline() {
+		t.Error("jobs without deadlines trivially meet them")
+	}
+	if !j.ReservedRunning(0) {
+		t.Error("running strict job is reserved-running")
+	}
+	j.AutoDowngraded = true
+	j.SwitchBack = 50
+	if j.ReservedRunning(10) {
+		t.Error("auto-downgraded job before switch-back is not reserved")
+	}
+	if !j.ReservedRunning(60) {
+		t.Error("auto-downgraded job after switch-back is reserved")
+	}
+}
+
+func TestWallClockEnforcementTerminatesOverrunner(t *testing.T) {
+	// Failure injection: the job accepted into slot 0 secretly carries
+	// 3x the work its tw was computed for. With enforcement on, it is
+	// terminated at its budget and every *other* job still meets its
+	// deadline — the reservation system contains the damage.
+	cfg := fastConfig(AllStrict, workload.Single("bzip2"))
+	cfg.EnforceWallClock = true
+	cfg.OverrunJobSlot = 0
+	cfg.OverrunFactor = 3.0
+	rep := mustRun(t, cfg)
+	if rep.Terminated != 1 {
+		t.Fatalf("terminated = %d, want exactly the injected overrunner", rep.Terminated)
+	}
+	for _, j := range rep.Jobs {
+		if j.Terminated {
+			if j.Met {
+				t.Error("terminated job must not count as meeting its deadline")
+			}
+			continue
+		}
+		if !j.Met {
+			t.Errorf("innocent job %d missed its deadline", j.ID)
+		}
+	}
+	// The budget is honored: the overrunner's wall-clock is within one
+	// epoch of tw.
+	for _, j := range rep.Jobs {
+		if j.Terminated && j.WallClock > rep.Jobs[1].WallClock*11/10+cfg.EpochCycles {
+			t.Errorf("overrunner ran %d cycles, far beyond its budget", j.WallClock)
+		}
+	}
+}
+
+func TestNoEnforcementLetsOverrunnerFinish(t *testing.T) {
+	cfg := fastConfig(AllStrict, workload.Single("bzip2"))
+	cfg.OverrunJobSlot = 0
+	cfg.OverrunFactor = 2.0
+	rep := mustRun(t, cfg)
+	if rep.Terminated != 0 {
+		t.Fatal("no enforcement, no terminations")
+	}
+	// The overrunner itself misses (it has 2x the work) but completes.
+	missed := 0
+	for _, j := range rep.Jobs {
+		if !j.Met {
+			missed++
+		}
+	}
+	if missed == 0 {
+		t.Error("the overrunning job should miss its deadline")
+	}
+}
+
+func TestBusPriorityProtectsReservedJobs(t *testing.T) {
+	// §4.2 footnote 2: under a constrained bus, prioritizing reserved
+	// jobs' memory requests keeps their wall-clock closer to the
+	// uncontended case than without prioritization. Use the
+	// memory-intensive mcf profile on a quarter-bandwidth bus.
+	base := fastConfig(Hybrid1, workload.Single("mcf"))
+	base.Mem.PeakBytesPerS = 1.6e9
+	base.TwMargin = 1.3 // budget headroom so contention does not reject jobs
+
+	on := base
+	on.PrioritizeBus = true
+	repOn := mustRun(t, on)
+	off := base
+	off.PrioritizeBus = false
+	repOff := mustRun(t, off)
+
+	sOn := repOn.WallClockByMode["Strict"]
+	sOff := repOff.WallClockByMode["Strict"]
+	if sOn == nil || sOff == nil {
+		t.Fatal("missing strict summaries")
+	}
+	if sOn.Mean() > sOff.Mean() {
+		t.Errorf("prioritized strict wall-clock %v should not exceed unprioritized %v",
+			sOn.Mean(), sOff.Mean())
+	}
+	// And the opportunistic jobs pay for it.
+	if repOn.OppWallClock.Mean() < repOff.OppWallClock.Mean()*0.98 {
+		t.Errorf("prioritization should not speed opportunistic jobs: on=%v off=%v",
+			repOn.OppWallClock.Mean(), repOff.OppWallClock.Mean())
+	}
+}
+
+func TestEngineStrings(t *testing.T) {
+	if EngineTable.String() != "table" || EngineTrace.String() != "trace" {
+		t.Error("engine names wrong")
+	}
+	if len(Policies()) != 5 {
+		t.Error("there are five Table 2 configurations")
+	}
+}
+
+func TestPhasedJobsStillGuaranteed(t *testing.T) {
+	// A phased bzip2 (calm first half, hot second half) under
+	// All-Strict: tw budgets the worst phase, so deadlines hold and the
+	// calm phase shows up as early completion (internal fragmentation).
+	phases := []workload.Phase{
+		{Until: 0.5, MPIScale: 0.5},
+		{Until: 1.0, MPIScale: 1.0},
+	}
+	w := workload.Composition{Name: "phased-bzip2"}
+	for i := 0; i < 10; i++ {
+		w.Jobs = append(w.Jobs, workload.JobTemplate{Benchmark: "bzip2", Phases: phases})
+	}
+	cfg := fastConfig(AllStrict, w)
+	rep := mustRun(t, cfg)
+	if rep.DeadlineHitRate != 1.0 {
+		t.Fatalf("phased workload hit rate = %v, want 1.0", rep.DeadlineHitRate)
+	}
+	// Compare against the uniform workload: phased jobs finish faster
+	// than their budget (the calm phase runs ahead).
+	uniform := mustRun(t, fastConfig(AllStrict, workload.Single("bzip2")))
+	pw := rep.WallClockByMode["Strict"].Mean()
+	uw := uniform.WallClockByMode["Strict"].Mean()
+	if pw >= uw {
+		t.Errorf("phased wall-clock %v should undercut uniform %v", pw, uw)
+	}
+}
+
+func TestFullHierarchyTraceMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-hierarchy trace is slow")
+	}
+	cfg := TraceConfig(AllStrict, workload.Single("gobmk"))
+	cfg.ModelL1 = true
+	cfg.JobInstr = 3_000_000
+	cfg.StealIntervalInstr = 150_000
+	cfg.TwMargin = 1.35 // hierarchy measurement noise needs extra budget
+	rep := mustRun(t, cfg)
+	if len(rep.Jobs) != 10 {
+		t.Fatalf("accepted %d jobs", len(rep.Jobs))
+	}
+	if rep.DeadlineHitRate != 1.0 {
+		t.Errorf("full-hierarchy hit rate = %v, want 1.0", rep.DeadlineHitRate)
+	}
+}
+
+func TestModelL1RequiresTraceEngine(t *testing.T) {
+	cfg := fastConfig(AllStrict, workload.Single("bzip2"))
+	cfg.ModelL1 = true
+	if err := cfg.Validate(); err == nil {
+		t.Error("ModelL1 with the table engine must be rejected")
+	}
+}
+
+func TestQuantumSchedulerOverhead(t *testing.T) {
+	// The OS-realism model: smaller quanta mean more context switches,
+	// so with a fixed switch penalty EqualPart's makespan grows as the
+	// quantum shrinks; with no penalty, quantum scheduling stays close
+	// to the idealized processor-sharing result.
+	base := fastConfig(EqualPart, workload.Single("bzip2"))
+	ideal := mustRun(t, base)
+
+	free := base
+	free.SchedQuantumCycles = 2_000_000 // 1 ms at 2 GHz
+	free.SwitchPenaltyCycles = 0
+	freeRep := mustRun(t, free)
+	if rel := float64(freeRep.TotalCycles)/float64(ideal.TotalCycles) - 1; rel > 0.05 || rel < -0.05 {
+		t.Errorf("penalty-free quantum scheduling deviates %.1f%% from processor sharing", rel*100)
+	}
+
+	coarse := base
+	coarse.SchedQuantumCycles = 2_000_000
+	coarse.SwitchPenaltyCycles = 50_000
+	coarseRep := mustRun(t, coarse)
+	fine := base
+	fine.SchedQuantumCycles = 200_000 // 0.1 ms: 10x the switches
+	fine.SwitchPenaltyCycles = 50_000
+	fineRep := mustRun(t, fine)
+	if fineRep.TotalCycles <= coarseRep.TotalCycles {
+		t.Errorf("fine quanta (%d) should cost more than coarse (%d) under a switch penalty",
+			fineRep.TotalCycles, coarseRep.TotalCycles)
+	}
+	if coarseRep.TotalCycles < ideal.TotalCycles {
+		t.Error("switch penalties cannot beat the idealized scheduler")
+	}
+}
+
+func TestReportWriteJSON(t *testing.T) {
+	rep := mustRun(t, fastConfig(Hybrid2, workload.Single("bzip2")))
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]interface{}
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if back["policy"] != "Hybrid-2" || back["workload"] != "bzip2" {
+		t.Errorf("header fields wrong: %v %v", back["policy"], back["workload"])
+	}
+	if jobs, ok := back["jobs"].([]interface{}); !ok || len(jobs) != 10 {
+		t.Errorf("jobs array wrong: %T", back["jobs"])
+	}
+	if back["deadline_hit_rate"].(float64) != 1.0 {
+		t.Error("hit rate not serialized")
+	}
+}
+
+func TestUCPPartPolicy(t *testing.T) {
+	// The dynamic UCP baseline: admits everything (like EqualPart),
+	// repartitions by utility each epoch. For a mixed workload with one
+	// cache-hungry and one insensitive benchmark it beats EqualPart on
+	// throughput, but like EqualPart it guarantees nothing.
+	mix := workload.Composition{Name: "ucp-mix"}
+	for i := 0; i < 10; i++ {
+		b := "bzip2"
+		if i%2 == 1 {
+			b = "gobmk"
+		}
+		mix.Jobs = append(mix.Jobs, workload.JobTemplate{Benchmark: b})
+	}
+	eq := mustRun(t, fastConfig(EqualPart, mix))
+	ucp := mustRun(t, fastConfig(UCPPart, mix))
+	if ucp.Rejected != 0 {
+		t.Error("UCP-Part has no admission control")
+	}
+	if ucp.TotalCycles >= eq.TotalCycles {
+		t.Errorf("UCP-Part (%d) should beat EqualPart (%d) on the mixed workload",
+			ucp.TotalCycles, eq.TotalCycles)
+	}
+	if ucp.DeadlineHitRate >= 0.9 {
+		t.Errorf("UCP-Part hit rate %v — optimizers do not provide guarantees", ucp.DeadlineHitRate)
+	}
+	// Trace engine is rejected for this policy.
+	bad := TraceConfig(UCPPart, mix)
+	if err := bad.Validate(); err == nil {
+		t.Error("UCP-Part with trace engine accepted")
+	}
+}
+
+func TestScriptedArrivals(t *testing.T) {
+	// Explicit submissions, no Poisson: one rejected tight job stays
+	// rejected (no retry), the rest run to completion.
+	tw := int64(1) // placeholder; deadlines come from factors
+	_ = tw
+	script := []ScriptedJob{
+		{Template: workload.JobTemplate{Benchmark: "bzip2"}, Arrival: 0, DeadlineFactor: 2},
+		{Template: workload.JobTemplate{Benchmark: "bzip2"}, Arrival: 0, DeadlineFactor: 2},
+		{Template: workload.JobTemplate{Benchmark: "bzip2"}, Arrival: 1000, DeadlineFactor: 1.05}, // no slot: rejected
+		{Template: workload.JobTemplate{Benchmark: "gobmk", Hint: workload.HintOpportunistic}, Arrival: 2000},
+	}
+	cfg := DefaultConfig(Hybrid2, workload.Composition{Name: "scripted"})
+	cfg.JobInstr = 5_000_000
+	cfg.StealIntervalInstr = 250_000
+	cfg.Script = script
+	rep := mustRun(t, cfg)
+	if len(rep.Jobs) != 3 || rep.Rejected != 1 {
+		t.Fatalf("accepted %d rejected %d, want 3/1", len(rep.Jobs), rep.Rejected)
+	}
+	if rep.DeadlineHitRate != 1.0 {
+		t.Errorf("hit rate = %v", rep.DeadlineHitRate)
+	}
+	// Validation catches out-of-order and bogus entries.
+	bad := cfg
+	bad.Script = []ScriptedJob{
+		{Template: workload.JobTemplate{Benchmark: "bzip2"}, Arrival: 100},
+		{Template: workload.JobTemplate{Benchmark: "bzip2"}, Arrival: 50},
+	}
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-order script accepted")
+	}
+	bad.Script = []ScriptedJob{{Template: workload.JobTemplate{Benchmark: "nope"}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown benchmark in script accepted")
+	}
+}
+
+func TestScriptedInstrOverride(t *testing.T) {
+	// A scripted job with 2x the instructions gets a proportionally
+	// scaled tw, so both jobs meet their deadlines and the long job's
+	// wall-clock is ~2x the short one's.
+	script := []ScriptedJob{
+		{Template: workload.JobTemplate{Benchmark: "bzip2"}, Arrival: 0, DeadlineFactor: 2},
+		{Template: workload.JobTemplate{Benchmark: "bzip2"}, Arrival: 0, DeadlineFactor: 2, Instr: 10_000_000},
+	}
+	cfg := DefaultConfig(AllStrict, workload.Composition{Name: "instr"})
+	cfg.JobInstr = 5_000_000
+	cfg.StealIntervalInstr = 250_000
+	cfg.Script = script
+	rep := mustRun(t, cfg)
+	if len(rep.Jobs) != 2 || rep.DeadlineHitRate != 1.0 {
+		t.Fatalf("accepted=%d hit=%v", len(rep.Jobs), rep.DeadlineHitRate)
+	}
+	ratio := float64(rep.Jobs[1].WallClock) / float64(rep.Jobs[0].WallClock)
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Errorf("wall-clock ratio = %v, want ~2", ratio)
+	}
+}

@@ -1,0 +1,292 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps
+}
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if s.Count() != 0 || s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("zero-value summary should report zeros")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.Count() != 8 {
+		t.Fatalf("count = %d, want 8", s.Count())
+	}
+	if !almostEq(s.Mean(), 5, 1e-12) {
+		t.Errorf("mean = %v, want 5", s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("min/max = %v/%v, want 2/9", s.Min(), s.Max())
+	}
+	if !almostEq(s.StdDev(), 2, 1e-12) {
+		t.Errorf("stddev = %v, want 2", s.StdDev())
+	}
+	if !almostEq(s.Sum(), 40, 1e-12) {
+		t.Errorf("sum = %v, want 40", s.Sum())
+	}
+}
+
+func TestSummarySingleSample(t *testing.T) {
+	var s Summary
+	s.Add(3.5)
+	if s.Min() != 3.5 || s.Max() != 3.5 || s.Mean() != 3.5 {
+		t.Errorf("single sample summary wrong: %v", s.String())
+	}
+	if s.Variance() != 0 {
+		t.Errorf("variance of one sample = %v, want 0", s.Variance())
+	}
+}
+
+func TestSummaryMergeMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var all, a, b Summary
+	for i := 0; i < 1000; i++ {
+		x := rng.NormFloat64()*3 + 10
+		all.Add(x)
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(b)
+	if a.Count() != all.Count() {
+		t.Fatalf("merged count = %d, want %d", a.Count(), all.Count())
+	}
+	if !almostEq(a.Mean(), all.Mean(), 1e-9) {
+		t.Errorf("merged mean = %v, want %v", a.Mean(), all.Mean())
+	}
+	if !almostEq(a.Variance(), all.Variance(), 1e-6) {
+		t.Errorf("merged variance = %v, want %v", a.Variance(), all.Variance())
+	}
+	if a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Errorf("merged min/max = %v/%v, want %v/%v", a.Min(), a.Max(), all.Min(), all.Max())
+	}
+}
+
+func TestSummaryMergeEmpty(t *testing.T) {
+	var a, b Summary
+	a.Add(1)
+	a.Add(2)
+	before := a
+	a.Merge(b) // merging empty is a no-op
+	if a != before {
+		t.Error("merging empty summary changed the receiver")
+	}
+	b.Merge(a) // merging into empty copies
+	if b.Count() != 2 || b.Mean() != 1.5 {
+		t.Errorf("merge into empty: %v", b.String())
+	}
+}
+
+func TestSummaryMeanWithinBounds(t *testing.T) {
+	// Property: mean always lies within [min, max], variance >= 0.
+	f := func(xs []float64) bool {
+		var s Summary
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			// keep magnitudes sane to avoid float blowup obscuring the property
+			if math.Abs(x) > 1e12 {
+				continue
+			}
+			s.Add(x)
+		}
+		if s.Count() == 0 {
+			return true
+		}
+		return s.Mean() >= s.Min()-1e-9 && s.Mean() <= s.Max()+1e-9 && s.Variance() >= -1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	h.Add(-1) // underflow
+	h.Add(11) // overflow
+	h.Add(10) // exactly hi -> overflow
+	for i := 0; i < 10; i++ {
+		if h.Bucket(i) != 1 {
+			t.Errorf("bucket %d = %d, want 1", i, h.Bucket(i))
+		}
+	}
+	if h.Underflow() != 1 {
+		t.Errorf("underflow = %d, want 1", h.Underflow())
+	}
+	if h.Overflow() != 2 {
+		t.Errorf("overflow = %d, want 2", h.Overflow())
+	}
+	if h.Count() != 13 {
+		t.Errorf("count = %d, want 13", h.Count())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(0, 100, 100)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i))
+	}
+	med := h.Quantile(0.5)
+	if med < 45 || med > 55 {
+		t.Errorf("median = %v, want ~50", med)
+	}
+	if q := h.Quantile(0); q > 5 {
+		t.Errorf("q0 = %v, want ~0", q)
+	}
+	if q := h.Quantile(1); q < 95 {
+		t.Errorf("q1 = %v, want ~100", q)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, tc := range []struct {
+		lo, hi float64
+		n      int
+	}{{0, 10, 0}, {0, 10, -1}, {10, 10, 5}, {10, 5, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v,%v,%d) did not panic", tc.lo, tc.hi, tc.n)
+				}
+			}()
+			NewHistogram(tc.lo, tc.hi, tc.n)
+		}()
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := Counter{Name: "misses"}
+	c.Inc()
+	c.Add(4)
+	if c.Value != 5 {
+		t.Errorf("counter = %d, want 5", c.Value)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(1, 0) != 0 {
+		t.Error("ratio with zero denominator should be 0")
+	}
+	if Ratio(3, 4) != 0.75 {
+		t.Errorf("ratio = %v, want 0.75", Ratio(3, 4))
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if p := Percentile(xs, 0); p != 1 {
+		t.Errorf("p0 = %v, want 1", p)
+	}
+	if p := Percentile(xs, 100); p != 5 {
+		t.Errorf("p100 = %v, want 5", p)
+	}
+	if p := Percentile(xs, 50); p != 3 {
+		t.Errorf("p50 = %v, want 3", p)
+	}
+	if p := Percentile(xs, 25); p != 2 {
+		t.Errorf("p25 = %v, want 2", p)
+	}
+	if p := Percentile(nil, 50); p != 0 {
+		t.Errorf("empty percentile = %v, want 0", p)
+	}
+	// input must not be mutated
+	if xs[0] != 5 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{2, 8}); !almostEq(g, 4, 1e-12) {
+		t.Errorf("geomean = %v, want 4", g)
+	}
+	if g := GeoMean([]float64{1, 0, 5}); g != 0 {
+		t.Errorf("geomean with zero = %v, want 0", g)
+	}
+	if g := GeoMean(nil); g != 0 {
+		t.Errorf("geomean of nothing = %v, want 0", g)
+	}
+}
+
+func TestCoV(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{10, 10, 10} {
+		s.Add(x)
+	}
+	if s.CoV() != 0 {
+		t.Errorf("CoV of constant stream = %v, want 0", s.CoV())
+	}
+	var z Summary
+	z.Add(-1)
+	z.Add(1)
+	if z.CoV() != 0 {
+		t.Errorf("CoV with zero mean = %v, want 0 (guarded)", z.CoV())
+	}
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	if h.Quantile(0.5) != 0 {
+		t.Error("quantile of empty histogram should be 0")
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := NewEWMA(0.5)
+	if e.Primed() || e.Value() != 0 {
+		t.Fatal("fresh EWMA should be unprimed and zero")
+	}
+	e.Add(10)
+	if e.Value() != 10 {
+		t.Errorf("first sample should prime: %v", e.Value())
+	}
+	e.Add(20)
+	if e.Value() != 15 {
+		t.Errorf("value = %v, want 15", e.Value())
+	}
+	e.Set(100)
+	if e.Value() != 100 {
+		t.Error("Set failed")
+	}
+	for _, bad := range []float64{0, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewEWMA(%v) did not panic", bad)
+				}
+			}()
+			NewEWMA(bad)
+		}()
+	}
+}
+
+func TestEWMAConverges(t *testing.T) {
+	// Property: feeding a constant converges to it regardless of start.
+	f := func(start, target uint16, alphaRaw uint8) bool {
+		alpha := 0.05 + float64(alphaRaw)/255*0.9
+		e := NewEWMA(alpha)
+		e.Set(float64(start))
+		for i := 0; i < 400; i++ {
+			e.Add(float64(target))
+		}
+		return math.Abs(e.Value()-float64(target)) < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

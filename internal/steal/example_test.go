@@ -1,0 +1,23 @@
+package steal_test
+
+import (
+	"fmt"
+
+	"cmpqos/internal/steal"
+)
+
+// The §4.3 feedback loop: steal a way per interval while the cumulative
+// miss increase stays under X, return everything when it crosses, and
+// resume once the excess decays.
+func ExampleController() {
+	c := steal.New(0.05, 7, 1)
+	fmt.Println(c.OnInterval(1000, 1000, false), "ways:", c.Ways()) // no excess: steal
+	fmt.Println(c.OnInterval(2030, 2000, false), "ways:", c.Ways()) // 1.5%: steal more
+	fmt.Println(c.OnInterval(3240, 3000, false), "ways:", c.Ways()) // 8%: rollback
+	fmt.Println(c.OnInterval(9200, 9000, false), "ways:", c.Ways()) // decayed to 2.2%: resume
+	// Output:
+	// steal-one ways: 6
+	// steal-one ways: 5
+	// rollback ways: 7
+	// steal-one ways: 6
+}

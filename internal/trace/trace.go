@@ -1,0 +1,240 @@
+// Package trace records job-lifecycle events during a simulation and
+// renders them as the execution timelines of paper Figure 7: one lane per
+// accepted job, a solid box from start to completion, a dashed tail to
+// the deadline, darker shading for periods spent automatically
+// downgraded, and a marker at the switch-back point.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// EventKind enumerates recorded events.
+type EventKind int
+
+const (
+	// Submitted: the job arrived and probed the admission controller.
+	Submitted EventKind = iota
+	// Accepted: the job passed admission (Start in the payload).
+	Accepted
+	// Rejected: admission failed.
+	Rejected
+	// Started: the job began executing.
+	Started
+	// Downgraded: the job was (automatically) downgraded and runs
+	// opportunistically until switch-back.
+	Downgraded
+	// SwitchedBack: the auto-downgraded job reverted to Strict.
+	SwitchedBack
+	// StealWay: one way was stolen from the job.
+	StealWay
+	// RollbackSteal: stealing was canceled and ways returned.
+	RollbackSteal
+	// Completed: the job finished (DeadlineMet in the payload).
+	Completed
+	// Terminated: the job exceeded its maximum wall-clock budget and was
+	// killed by the enforcement policy (§3.2: "a job may be terminated
+	// if it runs longer than its maximum wall-clock time").
+	Terminated
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	names := [...]string{"submitted", "accepted", "rejected", "started",
+		"downgraded", "switched-back", "steal-way", "rollback-steal", "completed",
+		"terminated"}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	Cycle       int64
+	JobID       int
+	Kind        EventKind
+	DeadlineMet bool  // Completed only
+	Detail      int64 // kind-specific: Accepted → scheduled start; StealWay → new ways
+}
+
+// Recorder accumulates events. The zero value is ready to use.
+type Recorder struct {
+	events []Event
+}
+
+// Record appends an event.
+func (r *Recorder) Record(e Event) { r.events = append(r.events, e) }
+
+// Events returns all events in recording order.
+func (r *Recorder) Events() []Event {
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// ByJob returns the events of one job in cycle order.
+func (r *Recorder) ByJob(jobID int) []Event {
+	var out []Event
+	for _, e := range r.events {
+		if e.JobID == jobID {
+			out = append(out, e)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Cycle < out[j].Cycle })
+	return out
+}
+
+// Count returns how many events of the given kind were recorded.
+func (r *Recorder) Count(kind EventKind) int {
+	n := 0
+	for _, e := range r.events {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// Lane is one job's rendered interval set, assembled from its events.
+type Lane struct {
+	JobID      int
+	Start      int64 // execution start
+	End        int64 // completion
+	Deadline   int64
+	SwitchBack int64 // 0 when never downgraded
+	Downgraded bool
+	Met        bool
+}
+
+// Lanes assembles per-job lanes for every job that both started and
+// completed, ordered by acceptance; deadlines must be supplied by the
+// caller (they are a property of the job, not an event).
+func (r *Recorder) Lanes(deadlines map[int]int64) []Lane {
+	type agg struct {
+		lane  Lane
+		seen  bool
+		order int
+	}
+	m := map[int]*agg{}
+	order := 0
+	for _, e := range r.events {
+		a, ok := m[e.JobID]
+		if !ok {
+			a = &agg{lane: Lane{JobID: e.JobID}, order: 1 << 30}
+			m[e.JobID] = a
+		}
+		switch e.Kind {
+		case Accepted:
+			a.order = order
+			order++
+		case Started:
+			if !a.seen {
+				a.lane.Start = e.Cycle
+				a.seen = true
+			}
+		case Downgraded:
+			a.lane.Downgraded = true
+		case SwitchedBack:
+			a.lane.SwitchBack = e.Cycle
+		case Completed:
+			a.lane.End = e.Cycle
+			a.lane.Met = e.DeadlineMet
+		}
+	}
+	var out []Lane
+	var aggs []*agg
+	for _, a := range m {
+		if a.seen && a.lane.End > 0 {
+			a.lane.Deadline = deadlines[a.lane.JobID]
+			aggs = append(aggs, a)
+		}
+	}
+	sort.Slice(aggs, func(i, j int) bool { return aggs[i].order < aggs[j].order })
+	for _, a := range aggs {
+		out = append(out, a.lane)
+	}
+	return out
+}
+
+// Gantt renders lanes as ASCII art, `width` characters across the busy
+// time span. Legend: '=' running, '#' running while downgraded,
+// '^' switch-back point, '.' slack until the deadline, '!' past-deadline
+// completion marker.
+func Gantt(lanes []Lane, width int) string {
+	if len(lanes) == 0 {
+		return "(no completed jobs)\n"
+	}
+	if width < 20 {
+		width = 20
+	}
+	var lo, hi int64
+	lo = lanes[0].Start
+	for _, l := range lanes {
+		if l.Start < lo {
+			lo = l.Start
+		}
+		if l.End > hi {
+			hi = l.End
+		}
+		if l.Deadline > hi {
+			hi = l.Deadline
+		}
+	}
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+	col := func(c int64) int {
+		p := int(float64(c-lo) / float64(span) * float64(width-1))
+		if p < 0 {
+			p = 0
+		}
+		if p > width-1 {
+			p = width - 1
+		}
+		return p
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycles %d .. %d  (one column = %.3g cycles)\n", lo, hi, float64(span)/float64(width))
+	for _, l := range lanes {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = ' '
+		}
+		cs, ce := col(l.Start), col(l.End)
+		fill := byte('=')
+		for i := cs; i <= ce; i++ {
+			row[i] = fill
+		}
+		if l.Downgraded {
+			// Darker shading while downgraded: from start to switch-back
+			// (or the whole run when it never switched back).
+			dEnd := ce
+			if l.SwitchBack > 0 {
+				dEnd = col(l.SwitchBack)
+			}
+			for i := cs; i <= dEnd && i < width; i++ {
+				row[i] = '#'
+			}
+			if l.SwitchBack > 0 {
+				row[col(l.SwitchBack)] = '^'
+			}
+		}
+		if l.Deadline > l.End {
+			for i := ce + 1; i <= col(l.Deadline); i++ {
+				row[i] = '.'
+			}
+		}
+		status := "met "
+		if !l.Met {
+			status = "MISS"
+			row[ce] = '!'
+		}
+		fmt.Fprintf(&b, "job %4d %s |%s|\n", l.JobID, status, string(row))
+	}
+	b.WriteString("legend: = run  # downgraded  ^ switch-back  . slack-to-deadline  ! missed\n")
+	return b.String()
+}

@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func record(r *Recorder, jobID int, events ...Event) {
+	for _, e := range events {
+		e.JobID = jobID
+		r.Record(e)
+	}
+}
+
+func TestRecorderBasics(t *testing.T) {
+	var r Recorder
+	record(&r, 1,
+		Event{Cycle: 0, Kind: Submitted},
+		Event{Cycle: 0, Kind: Accepted, Detail: 0},
+		Event{Cycle: 0, Kind: Started},
+		Event{Cycle: 100, Kind: Completed, DeadlineMet: true},
+	)
+	record(&r, 2, Event{Cycle: 5, Kind: Submitted}, Event{Cycle: 5, Kind: Rejected})
+	if len(r.Events()) != 6 {
+		t.Fatalf("events = %d, want 6", len(r.Events()))
+	}
+	if r.Count(Rejected) != 1 || r.Count(Completed) != 1 {
+		t.Error("counts wrong")
+	}
+	byJob := r.ByJob(1)
+	if len(byJob) != 4 || byJob[3].Kind != Completed {
+		t.Errorf("ByJob wrong: %+v", byJob)
+	}
+}
+
+func TestLanesAssembly(t *testing.T) {
+	var r Recorder
+	// Job 1: plain run, meets deadline.
+	record(&r, 1,
+		Event{Cycle: 0, Kind: Accepted},
+		Event{Cycle: 10, Kind: Started},
+		Event{Cycle: 110, Kind: Completed, DeadlineMet: true},
+	)
+	// Job 2: auto-downgraded, switched back, missed.
+	record(&r, 2,
+		Event{Cycle: 5, Kind: Accepted},
+		Event{Cycle: 5, Kind: Started},
+		Event{Cycle: 5, Kind: Downgraded},
+		Event{Cycle: 80, Kind: SwitchedBack},
+		Event{Cycle: 200, Kind: Completed, DeadlineMet: false},
+	)
+	// Job 3: never completed — excluded from lanes.
+	record(&r, 3, Event{Cycle: 7, Kind: Accepted}, Event{Cycle: 7, Kind: Started})
+	lanes := r.Lanes(map[int]int64{1: 150, 2: 180})
+	if len(lanes) != 2 {
+		t.Fatalf("lanes = %d, want 2", len(lanes))
+	}
+	if lanes[0].JobID != 1 || lanes[1].JobID != 2 {
+		t.Errorf("lane order wrong: %+v", lanes)
+	}
+	l2 := lanes[1]
+	if !l2.Downgraded || l2.SwitchBack != 80 || l2.Met {
+		t.Errorf("lane 2 wrong: %+v", l2)
+	}
+	if lanes[0].Deadline != 150 {
+		t.Errorf("deadline not attached: %+v", lanes[0])
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	lanes := []Lane{
+		{JobID: 1, Start: 0, End: 100, Deadline: 150, Met: true},
+		{JobID: 2, Start: 0, End: 200, Deadline: 180, Downgraded: true, SwitchBack: 80, Met: false},
+	}
+	g := Gantt(lanes, 60)
+	if !strings.Contains(g, "job    1 met ") {
+		t.Errorf("missing met lane:\n%s", g)
+	}
+	if !strings.Contains(g, "job    2 MISS") {
+		t.Errorf("missing missed lane:\n%s", g)
+	}
+	for _, sym := range []string{"=", "#", "^", ".", "!"} {
+		if !strings.Contains(g, sym) {
+			t.Errorf("symbol %q absent:\n%s", sym, g)
+		}
+	}
+}
+
+func TestGanttEmptyAndDegenerate(t *testing.T) {
+	if g := Gantt(nil, 80); !strings.Contains(g, "no completed jobs") {
+		t.Errorf("empty gantt = %q", g)
+	}
+	// Zero-span lanes must not divide by zero.
+	g := Gantt([]Lane{{JobID: 1, Start: 5, End: 5, Met: true}}, 10)
+	if !strings.Contains(g, "job    1") {
+		t.Errorf("degenerate gantt = %q", g)
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	if Submitted.String() != "submitted" || Completed.String() != "completed" {
+		t.Error("event kind names wrong")
+	}
+	if !strings.Contains(EventKind(99).String(), "99") {
+		t.Error("unknown kind should include the number")
+	}
+}

@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// DeadlineClass is the tightness of a job's deadline relative to its
+// maximum wall-clock time tw (paper §6): td − ta = k·tw.
+type DeadlineClass int
+
+const (
+	// DeadlineTight is td − ta = 1.05·tw (50% of jobs).
+	DeadlineTight DeadlineClass = iota
+	// DeadlineModerate is td − ta = 2·tw (30% of jobs).
+	DeadlineModerate
+	// DeadlineRelaxed is td − ta = 3·tw (20% of jobs).
+	DeadlineRelaxed
+)
+
+// Factor returns the deadline multiplier k for the class.
+func (d DeadlineClass) Factor() float64 {
+	switch d {
+	case DeadlineTight:
+		return 1.05
+	case DeadlineModerate:
+		return 2.0
+	case DeadlineRelaxed:
+		return 3.0
+	}
+	panic(fmt.Sprintf("workload: unknown deadline class %d", int(d)))
+}
+
+// String names the class.
+func (d DeadlineClass) String() string {
+	switch d {
+	case DeadlineTight:
+		return "tight"
+	case DeadlineModerate:
+		return "moderate"
+	case DeadlineRelaxed:
+		return "relaxed"
+	}
+	return fmt.Sprintf("DeadlineClass(%d)", int(d))
+}
+
+// DeadlineMix produces the paper's pseudo-random 50/30/20
+// tight/moderate/relaxed assignment: every block of ten consecutive jobs
+// contains exactly 5 tight, 3 moderate, and 2 relaxed deadlines, in a
+// seeded shuffle.
+type DeadlineMix struct {
+	rng   *rand.Rand
+	block []DeadlineClass
+	pos   int
+}
+
+// NewDeadlineMix builds a deterministic deadline assigner.
+func NewDeadlineMix(seed int64) *DeadlineMix {
+	return &DeadlineMix{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next returns the deadline class for the next job.
+func (m *DeadlineMix) Next() DeadlineClass {
+	if m.pos == len(m.block) {
+		m.block = []DeadlineClass{
+			DeadlineTight, DeadlineTight, DeadlineTight, DeadlineTight, DeadlineTight,
+			DeadlineModerate, DeadlineModerate, DeadlineModerate,
+			DeadlineRelaxed, DeadlineRelaxed,
+		}
+		m.rng.Shuffle(len(m.block), func(i, j int) {
+			m.block[i], m.block[j] = m.block[j], m.block[i]
+		})
+		m.pos = 0
+	}
+	c := m.block[m.pos]
+	m.pos++
+	return c
+}
+
+// Arrivals generates Poisson job arrivals at the paper's load: in one
+// job wall-clock time tw, on average ProbesPerTw jobs arrive and probe
+// the CMP's admission controller (paper §6: 4 cores × 128 CMPs = 512).
+type Arrivals struct {
+	rng  *rand.Rand
+	rate float64 // arrivals per cycle
+	now  float64 // cycle position of the last arrival
+}
+
+// DefaultProbesPerTw is the paper's arrival pressure: 4×128 probes per
+// job wall-clock time.
+const DefaultProbesPerTw = 512.0
+
+// NewArrivals builds a Poisson arrival process with the given mean
+// number of arrivals per twCycles window.
+func NewArrivals(seed int64, probesPerTw float64, twCycles int64) *Arrivals {
+	if probesPerTw <= 0 || twCycles <= 0 {
+		panic("workload: arrivals need positive rate and window")
+	}
+	return &Arrivals{
+		rng:  rand.New(rand.NewSource(seed)),
+		rate: probesPerTw / float64(twCycles),
+	}
+}
+
+// Next returns the cycle timestamp of the next arrival; timestamps are
+// strictly non-decreasing.
+func (a *Arrivals) Next() int64 {
+	// Exponential inter-arrival with mean 1/rate cycles.
+	gap := -math.Log(1-a.rng.Float64()) / a.rate
+	a.now += gap
+	return int64(a.now)
+}

@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"testing"
+
+	"cmpqos/internal/cache"
+)
+
+// probeCfg is the full paper L2 geometry with a single owner: region
+// footprints in the profiles are absolute sizes, so sensitivity must be
+// probed at the real capacity-per-way.
+func probeCfg() cache.Config {
+	return cache.Config{SizeBytes: 2 << 20, Ways: 16, BlockSize: 64, Owners: 1, HitCycles: 10}
+}
+
+func TestStreamDeterminism(t *testing.T) {
+	p := MustByName("bzip2")
+	a := p.NewStream(7, 3)
+	b := p.NewStream(7, 3)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("streams with identical seeds diverged")
+		}
+	}
+	c := p.NewStream(8, 3)
+	same := true
+	for i := 0; i < 1000; i++ {
+		if a.Next() != c.Next() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("streams with different seeds were identical")
+	}
+}
+
+func TestStreamsDisjointAcrossJobs(t *testing.T) {
+	p := MustByName("gobmk")
+	s0 := p.NewStream(1, 0)
+	s1 := p.NewStream(1, 1)
+	seen := map[cache.Addr]bool{}
+	for i := 0; i < 5000; i++ {
+		seen[s0.Next()] = true
+	}
+	for i := 0; i < 5000; i++ {
+		if seen[s1.Next()] {
+			t.Fatal("two jobs' address streams overlap")
+		}
+	}
+}
+
+func TestStreamBlockAligned(t *testing.T) {
+	p := MustByName("milc")
+	s := p.NewStream(3, 0)
+	for i := 0; i < 1000; i++ {
+		if a := s.Next(); uint64(a)%64 != 0 {
+			t.Fatalf("address %#x not 64-byte aligned", uint64(a))
+		}
+	}
+}
+
+func TestTraceCurvesReproduceGroups(t *testing.T) {
+	// The trace generator must reproduce the Figure 4 classification
+	// through the *real* cache model: the representative Group 1
+	// benchmark's measured miss curve falls much more steeply with added
+	// ways than the Group 3 representative's.
+	if testing.Short() {
+		t.Skip("trace probe is slow")
+	}
+	cfg := probeCfg()
+	drop := func(name string) float64 {
+		c := MustByName(name).ProbeCurve(cfg, 300000, 300000)
+		if c.At(2) <= 0 {
+			t.Fatalf("%s: no misses at 2 ways?", name)
+		}
+		return (c.At(2) - c.At(14)) / c.At(2)
+	}
+	bz := drop("bzip2")
+	gk := drop("gobmk")
+	if bz < 0.3 {
+		t.Errorf("bzip2 trace curve too flat: relative drop %v", bz)
+	}
+	if gk > bz/2 {
+		t.Errorf("gobmk trace curve too steep: drop %v vs bzip2 %v", gk, bz)
+	}
+}
+
+func TestMemStreamFiltersToCalibratedH2(t *testing.T) {
+	// The full-hierarchy path: the CPU-level stream, filtered through
+	// the paper's 32 KB L1, must deliver roughly the profile's
+	// calibrated h₂ accesses-per-instruction to the L2.
+	if testing.Short() {
+		t.Skip("hierarchy probe is slow")
+	}
+	for _, name := range []string{"bzip2", "gobmk"} {
+		p := MustByName(name)
+		h := cache.NewHierarchy(1, cache.PaperL1(),
+			cache.Config{SizeBytes: 2 << 20, Ways: 16, BlockSize: 64, Owners: 1, HitCycles: 10})
+		h.L2().SetTarget(0, 7)
+		h.L2().SetClass(0, cache.ClassReserved)
+		ms := p.NewMemStream(3, 0)
+		const warm, meas = 200_000, 400_000
+		for i := 0; i < warm; i++ {
+			h.Access(0, ms.Next())
+		}
+		h.ResetStats()
+		for i := 0; i < meas; i++ {
+			h.Access(0, ms.Next())
+		}
+		refs, l1m, _ := h.Stats(0)
+		// L2 accesses per instruction = L1 misses / (refs / MemRefsPerInstr).
+		instr := float64(refs) / MemRefsPerInstr
+		h2 := float64(l1m) / instr
+		if rel := (h2 - p.L2APA) / p.L2APA; rel > 0.35 || rel < -0.35 {
+			t.Errorf("%s: hierarchy-measured h2 = %v, calibrated %v (rel %.2f)",
+				name, h2, p.L2APA, rel)
+		}
+	}
+}
+
+func TestMemStreamDeterminism(t *testing.T) {
+	p := MustByName("bzip2")
+	a, b := p.NewMemStream(9, 2), p.NewMemStream(9, 2)
+	for i := 0; i < 500; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same-seed mem streams diverged")
+		}
+	}
+}
+
+func TestStreamingNeverRehits(t *testing.T) {
+	// A pure-streaming profile must keep missing: probe libquantum and
+	// check the measured curve stays high at full allocation.
+	if testing.Short() {
+		t.Skip("trace probe is slow")
+	}
+	cfg := probeCfg()
+	c := MustByName("libquantum").ProbeCurve(cfg, 100000, 100000)
+	if c.At(16) < 0.5 {
+		t.Errorf("libquantum measured miss ratio at 16 ways = %v, want > 0.5", c.At(16))
+	}
+}
