@@ -1,0 +1,31 @@
+# Developer entry points. Everything here is plain go tooling; there are
+# no external dependencies.
+
+GO ?= go
+
+.PHONY: all build vet test race bench clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# race runs the full suite under the race detector. The experiment
+# fan-out (internal/parallel) is the main subject: every multi-run
+# experiment must stay data-race-free at any worker count.
+race:
+	$(GO) test -race ./...
+
+# bench runs the hot-path benchmark suite with allocation stats and
+# records the results in BENCH_<date>.json (see scripts/bench.sh).
+bench:
+	scripts/bench.sh
+
+clean:
+	$(GO) clean ./...

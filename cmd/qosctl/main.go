@@ -34,6 +34,8 @@ func main() {
 		clock     = flag.String("clock", "2GHz", "node clock frequency (e.g. 2GHz, 1.5GHz)")
 		simulate  = flag.Bool("simulate", false, "run the jobs through the CMP simulator end to end")
 		instr     = flag.Int64("instr", 20_000_000, "instructions per job when simulating")
+		seeds     = flag.Int("seeds", 1, "with -simulate: run this many seeds of the job file")
+		parallel  = flag.Int("parallel", 1, "with -simulate: worker bound for the seed runs (0 = one per CPU)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -58,7 +60,7 @@ func main() {
 	}
 
 	if *simulate {
-		runSimulation(spec, *instr)
+		runSimulation(spec, *instr, *seeds, *parallel)
 		return
 	}
 
@@ -145,29 +147,46 @@ func parseClock(s string) (float64, error) {
 
 // runSimulation executes the job file's submissions through the CMP
 // simulator (Hybrid-2 semantics: every mode in the file is honored) and
-// prints the resulting report and execution trace.
-func runSimulation(spec *jobfile.Spec, instr int64) {
-	cfg := sim.DefaultConfig(sim.Hybrid2, workload.Composition{Name: "jobfile"})
-	cfg.JobInstr = instr
-	cfg.StealIntervalInstr = instr / 100
-	if cfg.StealIntervalInstr < 1 {
-		cfg.StealIntervalInstr = 1
+// prints the resulting report and execution trace. With seeds > 1 the
+// same script runs once per seed — the runs are independent and fan out
+// across the worker bound (0 = one per CPU), the qosctl face of the
+// qossim -parallel flag.
+func runSimulation(spec *jobfile.Spec, instr int64, seeds, workers int) {
+	if seeds < 1 {
+		seeds = 1
 	}
-	cfg.Script = spec.Script(cfg.CPU.ClockHz)
-	if spec.NodeCapacity.Cores > 0 && spec.NodeCapacity.Cores <= cfg.L2.Owners {
-		cfg.Cores = spec.NodeCapacity.Cores
+	if workers == 0 {
+		workers = -1 // flag value 0 means "all CPUs"
 	}
-	r, err := sim.New(cfg)
+	var cfgs []sim.Config
+	for s := 0; s < seeds; s++ {
+		cfg := sim.DefaultConfig(sim.Hybrid2, workload.Composition{Name: "jobfile"})
+		cfg.JobInstr = instr
+		cfg.StealIntervalInstr = instr / 100
+		if cfg.StealIntervalInstr < 1 {
+			cfg.StealIntervalInstr = 1
+		}
+		cfg.Script = spec.Script(cfg.CPU.ClockHz)
+		if spec.NodeCapacity.Cores > 0 && spec.NodeCapacity.Cores <= cfg.L2.Owners {
+			cfg.Cores = spec.NodeCapacity.Cores
+		}
+		cfg.Seed += int64(s)
+		cfgs = append(cfgs, cfg)
+	}
+	reps, err := sim.RunAll(workers, cfgs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qosctl:", err)
 		os.Exit(1)
 	}
-	rep, err := r.Run()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "qosctl:", err)
-		os.Exit(1)
+	for i, rep := range reps {
+		if seeds > 1 {
+			if i > 0 {
+				fmt.Println()
+			}
+			fmt.Printf("--- seed %d ---\n", cfgs[i].Seed)
+		}
+		fmt.Print(rep.Summary())
+		fmt.Println()
+		fmt.Print(rep.Gantt(72))
 	}
-	fmt.Print(rep.Summary())
-	fmt.Println()
-	fmt.Print(rep.Gantt(72))
 }

@@ -6,7 +6,12 @@
 //	qossim -exp all                  # every experiment
 //	qossim -exp fig8 -engine trace   # trace-driven cache execution
 //	qossim -exp fig7 -instr 20000000 # scaled-down jobs for quick runs
+//	qossim -exp fig9 -parallel 8     # fan independent runs across 8 workers
+//	qossim -exp all -parallel 0      # one worker per CPU
 //	qossim -list                     # list experiments
+//
+// Multi-run experiments produce byte-identical tables at any -parallel
+// setting; the flag only changes wall-clock time.
 package main
 
 import (
@@ -21,13 +26,14 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "", "experiment to run (see -list), or 'all'")
-		engine = flag.String("engine", "table", "execution engine: table or trace")
-		instr  = flag.Int64("instr", 0, "instructions per job (0 = engine default)")
-		seed   = flag.Int64("seed", 0, "random seed (0 = default)")
-		list   = flag.Bool("list", false, "list available experiments")
-		asCSV  = flag.Bool("csv", false, "emit machine-readable CSV instead of text tables")
-		html   = flag.String("html", "", "write a single-file HTML report of ALL experiments to this path")
+		exp      = flag.String("exp", "", "experiment to run (see -list), or 'all'")
+		engine   = flag.String("engine", "table", "execution engine: table or trace")
+		instr    = flag.Int64("instr", 0, "instructions per job (0 = engine default)")
+		seed     = flag.Int64("seed", 0, "random seed (0 = default)")
+		parallel = flag.Int("parallel", 1, "worker bound for independent simulation runs (0 = one per CPU)")
+		list     = flag.Bool("list", false, "list available experiments")
+		asCSV    = flag.Bool("csv", false, "emit machine-readable CSV instead of text tables")
+		html     = flag.String("html", "", "write a single-file HTML report of ALL experiments to this path")
 	)
 	flag.Parse()
 
@@ -42,7 +48,10 @@ func main() {
 		return
 	}
 
-	opts := experiments.Options{JobInstr: *instr, Seed: *seed}
+	opts := experiments.Options{JobInstr: *instr, Seed: *seed, Workers: *parallel}
+	if *parallel == 0 {
+		opts.Workers = -1 // flag value 0 means "all CPUs"
+	}
 	switch *engine {
 	case "table":
 		opts.Engine = sim.EngineTable

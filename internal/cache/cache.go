@@ -114,9 +114,11 @@ type Interface interface {
 	ResetStats()
 }
 
-// line is one cache line's tag state.
+// line is one cache line's bookkeeping state. The tag itself lives in
+// the dense per-set tag array (baseCache.tags) so the lookup scan —
+// the hottest loop in the trace engine — touches two cache lines per
+// 16-way set instead of six.
 type line struct {
-	tag   uint64
 	stamp uint64 // LRU stamp; larger = more recently used
 	owner int8
 	valid bool
@@ -127,8 +129,10 @@ type line struct {
 type baseCache struct {
 	cfg        Config
 	sets       [][]line
-	clock      uint64 // global LRU stamp source
+	tags       [][]uint64 // tags[set][way], parallel to sets
+	clock      uint64     // global LRU stamp source
 	setShift   uint
+	tagShift   uint // precomputed setShift + log2(sets); see index
 	setMask    uint64
 	ownerAcc   []int64
 	ownerMiss  []int64
@@ -137,6 +141,7 @@ type baseCache struct {
 	occupancy  [][]int16 // occupancy[set][owner]: valid blocks owned per set
 	globalOcc  []int64   // blocks owned per owner across all sets
 	freeInSet  []int16   // invalid lines per set
+	freeHint   []int16   // per set: every way below the hint is valid
 	writeBacks int64     // dirty evictions (write-back transfers)
 }
 
@@ -148,18 +153,23 @@ func newBase(cfg Config) *baseCache {
 	b := &baseCache{
 		cfg:       cfg,
 		sets:      make([][]line, sets),
+		tags:      make([][]uint64, sets),
 		setShift:  uint(bits.TrailingZeros(uint(cfg.BlockSize))),
+		tagShift:  uint(bits.TrailingZeros(uint(cfg.BlockSize))) + uint(bits.TrailingZeros(uint(sets))),
 		setMask:   uint64(sets - 1),
 		ownerAcc:  make([]int64, cfg.Owners),
 		ownerMiss: make([]int64, cfg.Owners),
 		occupancy: make([][]int16, sets),
 		globalOcc: make([]int64, cfg.Owners),
 		freeInSet: make([]int16, sets),
+		freeHint:  make([]int16, sets),
 	}
 	lines := make([]line, sets*cfg.Ways)
+	tags := make([]uint64, sets*cfg.Ways)
 	occ := make([]int16, sets*cfg.Owners)
 	for s := 0; s < sets; s++ {
 		b.sets[s] = lines[s*cfg.Ways : (s+1)*cfg.Ways : (s+1)*cfg.Ways]
+		b.tags[s] = tags[s*cfg.Ways : (s+1)*cfg.Ways : (s+1)*cfg.Ways]
 		b.occupancy[s] = occ[s*cfg.Owners : (s+1)*cfg.Owners : (s+1)*cfg.Owners]
 		b.freeInSet[s] = int16(cfg.Ways)
 	}
@@ -169,13 +179,14 @@ func newBase(cfg Config) *baseCache {
 // index splits an address into set index and tag.
 func (b *baseCache) index(addr Addr) (set int, tag uint64) {
 	blk := uint64(addr) >> b.setShift
-	return int(blk & b.setMask), blk >> uint(bits.TrailingZeros(uint(len(b.sets))))
+	return int(blk & b.setMask), uint64(addr) >> b.tagShift
 }
 
 // lookup finds the way holding (set, tag), or -1.
 func (b *baseCache) lookup(set int, tag uint64) int {
-	for w, ln := range b.sets[set] {
-		if ln.valid && ln.tag == tag {
+	lines := b.sets[set]
+	for w, t := range b.tags[set] {
+		if t == tag && lines[w].valid {
 			return w
 		}
 	}
@@ -188,13 +199,19 @@ func (b *baseCache) touch(set, way int) {
 	b.sets[set][way].stamp = b.clock
 }
 
-// freeWay returns an invalid way in the set, or -1.
+// freeWay returns the lowest-index invalid way in the set, or -1. The
+// freeInSet counter answers the common full-set case in O(1); otherwise
+// the scan starts at the set's free hint, which is a proven lower bound
+// on the first invalid way (everything below it is valid), so filling a
+// set is amortized O(1) instead of O(ways²).
 func (b *baseCache) freeWay(set int) int {
 	if b.freeInSet[set] == 0 {
 		return -1
 	}
-	for w, ln := range b.sets[set] {
-		if !ln.valid {
+	lines := b.sets[set]
+	for w := int(b.freeHint[set]); w < len(lines); w++ {
+		if !lines[w].valid {
+			b.freeHint[set] = int16(w)
 			return w
 		}
 	}
@@ -239,8 +256,11 @@ func (b *baseCache) install(set, way int, tag uint64, owner int) (victimOwner in
 		b.globalOcc[ln.owner]--
 	} else {
 		b.freeInSet[set]--
+		if int(b.freeHint[set]) == way {
+			b.freeHint[set]++
+		}
 	}
-	ln.tag = tag
+	b.tags[set][way] = tag
 	ln.owner = int8(owner)
 	ln.valid = true
 	ln.dirty = false
@@ -307,6 +327,9 @@ func (b *baseCache) Flush(owner int) (blocks, writeBacks int64) {
 			ln.dirty = false
 			b.occupancy[s][owner]--
 			b.freeInSet[s]++
+			if int16(w) < b.freeHint[s] {
+				b.freeHint[s] = int16(w)
+			}
 		}
 	}
 	b.globalOcc[owner] -= blocks

@@ -376,6 +376,112 @@ func TestWriteBackSemantics(t *testing.T) {
 	}
 }
 
+// sweepGeometries returns every geometry the experiments exercise: the
+// paper's L1 and L2 plus the geometry-sweep L2s (1 MB/8-way, 2 MB/16-way,
+// 4 MB/32-way).
+func sweepGeometries() []Config {
+	mk := func(sizeMB, ways int) Config {
+		return Config{SizeBytes: sizeMB << 20, Ways: ways, BlockSize: 64, Owners: 4, HitCycles: 10}
+	}
+	return []Config{PaperL1(), PaperL2(), mk(1, 8), mk(2, 16), mk(4, 32)}
+}
+
+// TestIndexDecomposition pins the set/tag split against an arithmetic
+// reference model across every experiment geometry. It guards the
+// precomputed tagShift: set and tag must together identify the block,
+// and nothing below the block offset may leak into either.
+func TestIndexDecomposition(t *testing.T) {
+	for _, cfg := range sweepGeometries() {
+		c := NewLRU(cfg)
+		sets := uint64(cfg.Sets())
+		block := uint64(cfg.BlockSize)
+		rng := rand.New(rand.NewSource(41))
+		for i := 0; i < 10_000; i++ {
+			addr := Addr(rng.Uint64() >> 7) // keep sums below overflow
+			set, tag := c.index(addr)
+			blk := uint64(addr) / block
+			wantSet := int(blk % sets)
+			wantTag := blk / sets
+			if set != wantSet || tag != wantTag {
+				t.Fatalf("%+v: index(%#x) = (%d, %#x), want (%d, %#x)",
+					cfg, addr, set, tag, wantSet, wantTag)
+			}
+			// The decomposition must be invertible back to the block.
+			if back := (tag*sets + uint64(set)) * block; back != blk*block {
+				t.Fatalf("%+v: (set,tag) does not reconstruct block of %#x", cfg, addr)
+			}
+			// Offsets within one block must not change the mapping.
+			s2, t2 := c.index(Addr(blk*block + block - 1))
+			if s2 != set || t2 != tag {
+				t.Fatalf("%+v: block offset leaked into index of %#x", cfg, addr)
+			}
+		}
+	}
+}
+
+// TestIndexDistinctBlocksCollide checks that two addresses share a cache
+// line exactly when they fall in the same block — i.e. the tag bits do
+// not alias adjacent blocks — by round-tripping through real accesses.
+func TestIndexDistinctBlocksCollide(t *testing.T) {
+	for _, cfg := range sweepGeometries() {
+		c := NewLRU(cfg)
+		a := blockAddr(cfg, 1, 5)
+		c.Access(0, a)
+		if r := c.Access(0, a+Addr(cfg.BlockSize)/2); !r.Hit {
+			t.Errorf("%+v: same-block access missed", cfg)
+		}
+		if r := c.Access(0, a+Addr(cfg.BlockSize)); r.Hit {
+			t.Errorf("%+v: next block aliased onto the same line", cfg)
+		}
+		// Same set, different tag must coexist, not alias.
+		c.Access(0, blockAddr(cfg, 1, 6))
+		if r := c.Access(0, a); !r.Hit {
+			t.Errorf("%+v: distinct tags in one set collided", cfg)
+		}
+	}
+}
+
+// TestFreeWayPicksLowestInvalid pins the free-way hint's contract: the
+// fill path must behave exactly like a linear scan for the lowest-index
+// invalid way, including after Flush reopens arbitrary ways.
+func TestFreeWayPicksLowestInvalid(t *testing.T) {
+	cfg := tiny()
+	c := NewLRU(cfg)
+	// naive recomputes the answer from scratch.
+	naive := func(set int) int {
+		for w, ln := range c.sets[set] {
+			if !ln.valid {
+				return w
+			}
+		}
+		return -1
+	}
+	check := func(when string) {
+		t.Helper()
+		for s := 0; s < cfg.Sets(); s++ {
+			if got, want := c.freeWay(s), naive(s); got != want {
+				t.Fatalf("%s: set %d freeWay = %d, want %d", when, s, got, want)
+			}
+		}
+	}
+	check("empty cache")
+	// Fill set 0 way by way; the free way must track the scan frontier.
+	for tag := uint64(0); tag < uint64(cfg.Ways); tag++ {
+		c.Access(int(tag)%cfg.Owners, blockAddr(cfg, 0, tag))
+		check("during fill")
+	}
+	if c.freeWay(0) != -1 {
+		t.Fatal("full set should report no free way")
+	}
+	// Flush owner 1: its ways reopen and the hint must rewind to the
+	// lowest reopened index, not keep pointing past it.
+	c.Flush(1)
+	check("after flush")
+	// Refill and re-check: install must advance the hint consistently.
+	c.Access(1, blockAddr(cfg, 0, 40))
+	check("after refill")
+}
+
 func TestFlushOwner(t *testing.T) {
 	cfg := tiny()
 	c := NewPartitioned(cfg)

@@ -124,19 +124,13 @@ func (c *Partitioned) victim(set, owner int) int {
 		// capacity flows to Opportunistic jobs), then the LRU block
 		// among Opportunistic owners, then any over-allocated owner,
 		// then global LRU as a last resort.
-		if w := c.lruWay(set, func(ln line) bool {
-			return occ[ln.owner] > c.target[ln.owner] && c.class[ln.owner] == ClassReserved
-		}); w >= 0 {
+		if w := c.lruOverReserved(set); w >= 0 {
 			return w
 		}
-		if w := c.lruWay(set, func(ln line) bool {
-			return int(ln.owner) != owner && c.class[ln.owner] == ClassOpportunistic
-		}); w >= 0 {
+		if w := c.lruOtherOpportunistic(set, owner); w >= 0 {
 			return w
 		}
-		if w := c.lruWay(set, func(ln line) bool {
-			return occ[ln.owner] > c.target[ln.owner]
-		}); w >= 0 {
+		if w := c.lruOverAllocated(set); w >= 0 {
 			return w
 		}
 		return c.lruWay(set, nil)
@@ -146,28 +140,22 @@ func (c *Partitioned) victim(set, owner int) int {
 	// stolen from Elastic jobs (their targets shrank, leaving them
 	// over-allocated) actually flows to Opportunistic jobs (§4.1).
 	if oppo {
-		if w := c.lruWay(set, func(ln line) bool {
-			return occ[ln.owner] > c.target[ln.owner] && c.class[ln.owner] == ClassReserved
-		}); w >= 0 {
+		if w := c.lruOverReserved(set); w >= 0 {
 			return w
 		}
 	}
 	// The requester is at or above target: replace within its own blocks.
-	if w := c.lruWay(set, func(ln line) bool { return int(ln.owner) == owner }); w >= 0 {
+	if w := c.lruOwned(set, owner); w >= 0 {
 		return w
 	}
 	// The requester owns nothing in this set and has no target headroom
 	// (e.g. an Opportunistic core with target 0 sharing the leftover
 	// pool). Take the LRU block among Opportunistic owners if any,
 	// otherwise over-allocated owners, otherwise global LRU.
-	if w := c.lruWay(set, func(ln line) bool {
-		return c.class[ln.owner] == ClassOpportunistic
-	}); w >= 0 {
+	if w := c.lruAnyOpportunistic(set); w >= 0 {
 		return w
 	}
-	if w := c.lruWay(set, func(ln line) bool {
-		return occ[ln.owner] > c.target[ln.owner]
-	}); w >= 0 {
+	if w := c.lruOverAllocated(set); w >= 0 {
 		return w
 	}
 	// Final resorts: an invalid way if the set still has one (only
@@ -177,6 +165,99 @@ func (c *Partitioned) victim(set, owner int) int {
 		return w
 	}
 	return c.lruWay(set, nil)
+}
+
+// The specialized LRU scans below are the victim policy's hot loops:
+// each is the lruWay generic with its predicate inlined, because the
+// indirect keep-function call per candidate line dominated the miss
+// path in profiles (every predicate reads only the line's owner).
+
+// lruOwned returns the LRU way among owner's own valid blocks, or -1.
+func (c *Partitioned) lruOwned(set, owner int) int {
+	lines := c.sets[set]
+	o8 := int8(owner)
+	best, bestStamp := -1, uint64(0)
+	for w := range lines {
+		ln := &lines[w]
+		if !ln.valid || ln.owner != o8 {
+			continue
+		}
+		if best == -1 || ln.stamp < bestStamp {
+			best, bestStamp = w, ln.stamp
+		}
+	}
+	return best
+}
+
+// lruOverReserved returns the LRU way among blocks of over-allocated
+// reserved-class owners, or -1.
+func (c *Partitioned) lruOverReserved(set int) int {
+	lines := c.sets[set]
+	occ := c.occupancy[set]
+	best, bestStamp := -1, uint64(0)
+	for w := range lines {
+		ln := &lines[w]
+		if !ln.valid || occ[ln.owner] <= c.target[ln.owner] || c.class[ln.owner] != ClassReserved {
+			continue
+		}
+		if best == -1 || ln.stamp < bestStamp {
+			best, bestStamp = w, ln.stamp
+		}
+	}
+	return best
+}
+
+// lruOtherOpportunistic returns the LRU way among Opportunistic-class
+// owners other than the requester, or -1.
+func (c *Partitioned) lruOtherOpportunistic(set, owner int) int {
+	lines := c.sets[set]
+	o8 := int8(owner)
+	best, bestStamp := -1, uint64(0)
+	for w := range lines {
+		ln := &lines[w]
+		if !ln.valid || ln.owner == o8 || c.class[ln.owner] != ClassOpportunistic {
+			continue
+		}
+		if best == -1 || ln.stamp < bestStamp {
+			best, bestStamp = w, ln.stamp
+		}
+	}
+	return best
+}
+
+// lruAnyOpportunistic returns the LRU way among Opportunistic-class
+// owners' blocks, or -1.
+func (c *Partitioned) lruAnyOpportunistic(set int) int {
+	lines := c.sets[set]
+	best, bestStamp := -1, uint64(0)
+	for w := range lines {
+		ln := &lines[w]
+		if !ln.valid || c.class[ln.owner] != ClassOpportunistic {
+			continue
+		}
+		if best == -1 || ln.stamp < bestStamp {
+			best, bestStamp = w, ln.stamp
+		}
+	}
+	return best
+}
+
+// lruOverAllocated returns the LRU way among blocks of any over-allocated
+// owner, or -1.
+func (c *Partitioned) lruOverAllocated(set int) int {
+	lines := c.sets[set]
+	occ := c.occupancy[set]
+	best, bestStamp := -1, uint64(0)
+	for w := range lines {
+		ln := &lines[w]
+		if !ln.valid || occ[ln.owner] <= c.target[ln.owner] {
+			continue
+		}
+		if best == -1 || ln.stamp < bestStamp {
+			best, bestStamp = w, ln.stamp
+		}
+	}
+	return best
 }
 
 // SetOccupancy returns owner's valid-block count within one set; it is

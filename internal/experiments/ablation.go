@@ -5,10 +5,30 @@ import (
 	"io"
 
 	"cmpqos/internal/cache"
+	"cmpqos/internal/parallel"
 	"cmpqos/internal/stats"
 	"cmpqos/internal/steal"
 	"cmpqos/internal/workload"
 )
+
+// mapMeasure fans infallible measurement jobs across the option's worker
+// bound (these ablations drive the cache model directly rather than
+// through sim.Config, so they cannot use sim.RunAll). An error can only
+// be a captured panic; re-panicking preserves the historical contract
+// that these experiments do not return errors.
+func mapMeasure(o Options, n int, fn func(i int) float64) []float64 {
+	workers := o.Workers
+	if workers == 0 {
+		workers = 1 // same default as sim.RunAll: serial unless asked
+	}
+	vals, err := parallel.Map(parallel.New(workers), n, func(i int) (float64, error) {
+		return fn(i), nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	return vals
+}
 
 // AblationPartitionResult quantifies §4.1's argument for per-set over
 // global partitioning: under the global scheme, the distribution of a
@@ -64,9 +84,14 @@ func AblationPartition(o Options) *AblationPartitionResult {
 	}
 
 	res := &AblationPartitionResult{Runs: runs}
-	for s := int64(0); s < runs; s++ {
-		res.PerSet.Add(measure(false, s+o.Seed))
-		res.Global.Add(measure(true, s+o.Seed))
+	// Even indices are per-set runs, odd are global; the summaries are
+	// filled in the historical serial order afterwards.
+	vals := mapMeasure(o, 2*runs, func(i int) float64 {
+		return measure(i%2 == 1, int64(i/2)+o.Seed)
+	})
+	for s := 0; s < runs; s++ {
+		res.PerSet.Add(vals[2*s])
+		res.Global.Add(vals[2*s+1])
 	}
 	res.PerSetCoV = res.PerSet.CoV()
 	res.GlobalCoV = res.Global.CoV()
@@ -130,9 +155,13 @@ func AblationSampling(o Options) *AblationSamplingResult {
 		}
 		return steal.ExcessMissRatio(st.MainMisses(0), st.ShadowMisses(0))
 	}
-	res := &AblationSamplingResult{Full: measure(1)}
-	for _, every := range []int{2, 4, 8, 16, 32} {
-		est := measure(every)
+	everies := []int{1, 2, 4, 8, 16, 32}
+	vals := mapMeasure(o, len(everies), func(i int) float64 {
+		return measure(everies[i])
+	})
+	res := &AblationSamplingResult{Full: vals[0]}
+	for i, every := range everies[1:] {
+		est := vals[i+1]
 		res.Rows = append(res.Rows, AblationSamplingRow{
 			Every:    every,
 			Estimate: est,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"cmpqos/internal/parallel"
 	"cmpqos/internal/sim"
 	"cmpqos/internal/workload"
 )
@@ -28,10 +29,18 @@ type ClusterResult struct {
 	Rows []ClusterRow
 }
 
-// Cluster sweeps 1, 2, and 4 nodes with 10 jobs per node.
+// Cluster sweeps 1, 2, and 4 nodes with 10 jobs per node. The nodes of
+// one cluster advance in lock-step behind a shared GAC, so a single run
+// cannot be split up — the fan-out is across the three sweep points,
+// each a self-contained cluster simulation.
 func Cluster(o Options) (*ClusterResult, error) {
-	res := &ClusterResult{}
-	for _, nodes := range []int{1, 2, 4} {
+	sweep := []int{1, 2, 4}
+	workers := o.Workers
+	if workers == 0 {
+		workers = 1
+	}
+	rows, err := parallel.Map(parallel.New(workers), len(sweep), func(i int) (ClusterRow, error) {
+		nodes := sweep[i]
 		cfg := sim.ClusterConfig{
 			Nodes:        nodes,
 			Node:         o.config(sim.Hybrid2, workload.Single("bzip2")),
@@ -39,13 +48,13 @@ func Cluster(o Options) (*ClusterResult, error) {
 		}
 		cr, err := sim.NewCluster(cfg)
 		if err != nil {
-			return nil, err
+			return ClusterRow{}, err
 		}
 		rep, err := cr.Run()
 		if err != nil {
-			return nil, fmt.Errorf("cluster %d nodes: %w", nodes, err)
+			return ClusterRow{}, fmt.Errorf("cluster %d nodes: %w", nodes, err)
 		}
-		res.Rows = append(res.Rows, ClusterRow{
+		return ClusterRow{
 			Nodes:          nodes,
 			Jobs:           cfg.AcceptTarget,
 			Accepted:       rep.Accepted,
@@ -53,9 +62,12 @@ func Cluster(o Options) (*ClusterResult, error) {
 			Makespan:       rep.TotalCycles,
 			HitRate:        rep.DeadlineHitRate,
 			JobsPerGcycle:  float64(rep.Accepted) / (float64(rep.TotalCycles) / 1e9),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &ClusterResult{Rows: rows}, nil
 }
 
 // Render prints the scaling table.

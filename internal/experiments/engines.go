@@ -34,22 +34,24 @@ type EnginesResult struct {
 func Engines(o Options) (*EnginesResult, error) {
 	comp := workload.Single("bzip2")
 	res := &EnginesResult{Workload: comp.Name}
-	var tableBase, traceBase int64
-	for _, pol := range sim.Policies() {
+	pols := sim.Policies()
+	var cfgs []sim.Config
+	for _, pol := range pols {
 		tcfg := o.config(pol, comp)
 		tcfg.Engine = sim.EngineTable
-		tableRep, err := run(tcfg)
-		if err != nil {
-			return nil, fmt.Errorf("engines table/%v: %w", pol, err)
-		}
 		rcfg := sim.TraceConfig(pol, comp)
 		if o.Seed != 0 {
 			rcfg.Seed = o.Seed
 		}
-		traceRep, err := run(rcfg)
-		if err != nil {
-			return nil, fmt.Errorf("engines trace/%v: %w", pol, err)
-		}
+		cfgs = append(cfgs, tcfg, rcfg)
+	}
+	reps, err := o.runAll(cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("engines: %w", err)
+	}
+	var tableBase, traceBase int64
+	for i, pol := range pols {
+		tableRep, traceRep := reps[2*i], reps[2*i+1]
 		if pol == sim.AllStrict {
 			tableBase = tableRep.TotalCycles
 			traceBase = traceRep.TotalCycles

@@ -23,6 +23,13 @@ type Options struct {
 	JobInstr int64
 	// Seed drives all pseudo-randomness.
 	Seed int64
+	// Workers bounds how many independent simulations a multi-run
+	// experiment executes concurrently: 0 or 1 is serial, N > 1 uses at
+	// most N goroutines, and a negative value uses one per CPU. Every
+	// experiment renders byte-identical output at any setting — grids are
+	// built in the same order as the historical serial loops, and reports
+	// are collected in submission order.
+	Workers int
 }
 
 // config builds a sim.Config for the options.
@@ -54,6 +61,12 @@ func run(cfg sim.Config) (*sim.Report, error) {
 		return nil, err
 	}
 	return r.Run()
+}
+
+// runAll executes a grid of configurations under the option's worker
+// bound and returns the reports in input order.
+func (o Options) runAll(cfgs []sim.Config) ([]*sim.Report, error) {
+	return sim.RunAll(o.Workers, cfgs)
 }
 
 // Runner is a named experiment entry point for the CLI.

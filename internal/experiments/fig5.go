@@ -24,17 +24,29 @@ type Fig5Result struct {
 	Cells []Fig5Cell
 }
 
-// Fig5 runs the 3×5 sweep.
+// Fig5 runs the 3×5 sweep, fanning the 15 independent runs across
+// o.Workers goroutines.
 func Fig5(o Options) (*Fig5Result, error) {
-	res := &Fig5Result{}
-	for _, bench := range []string{"gobmk", "hmmer", "bzip2"} {
+	benches := []string{"gobmk", "hmmer", "bzip2"}
+	pols := sim.Policies()
+	var cfgs []sim.Config
+	for _, bench := range benches {
 		comp := workload.Single(bench)
+		for _, pol := range pols {
+			cfgs = append(cfgs, o.config(pol, comp))
+		}
+	}
+	reps, err := o.runAll(cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("fig5: %w", err)
+	}
+	res := &Fig5Result{}
+	k := 0
+	for _, bench := range benches {
 		var base *sim.Report
-		for _, pol := range sim.Policies() {
-			rep, err := run(o.config(pol, comp))
-			if err != nil {
-				return nil, fmt.Errorf("fig5 %s/%v: %w", bench, pol, err)
-			}
+		for _, pol := range pols {
+			rep := reps[k]
+			k++
 			if pol == sim.AllStrict {
 				base = rep
 			}

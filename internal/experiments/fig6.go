@@ -27,14 +27,20 @@ type Fig6Result struct {
 	Rows []Fig6Row
 }
 
-// Fig6 runs the five configurations on the bzip2 workload.
+// Fig6 runs the five configurations on the bzip2 workload concurrently.
 func Fig6(o Options) (*Fig6Result, error) {
+	pols := sim.Policies()
+	var cfgs []sim.Config
+	for _, pol := range pols {
+		cfgs = append(cfgs, o.config(pol, workload.Single("bzip2")))
+	}
+	reps, err := o.runAll(cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("fig6: %w", err)
+	}
 	res := &Fig6Result{}
-	for _, pol := range sim.Policies() {
-		rep, err := run(o.config(pol, workload.Single("bzip2")))
-		if err != nil {
-			return nil, fmt.Errorf("fig6 %v: %w", pol, err)
-		}
+	for i, pol := range pols {
+		rep := reps[i]
 		var keys []string
 		for k := range rep.WallClockByMode {
 			keys = append(keys, k)

@@ -26,23 +26,26 @@ type Fig8Result struct {
 	BaselineWall float64 // opportunistic mean wall-clock with stealing off
 }
 
-// Fig8 sweeps X over the Hybrid-2 bzip2 workload.
+// Fig8 sweeps X over the Hybrid-2 bzip2 workload; the stealing-disabled
+// baseline and all slack points run concurrently.
 func Fig8(o Options) (*Fig8Result, error) {
 	comp := workload.Single("bzip2")
 	base := o.config(sim.Hybrid2, comp)
 	base.DisableStealing = true
-	baseRep, err := run(base)
-	if err != nil {
-		return nil, err
-	}
-	res := &Fig8Result{BaselineWall: baseRep.OppWallClock.Mean()}
-	for _, x := range []float64{0.01, 0.02, 0.05, 0.10, 0.15, 0.20} {
+	xs := []float64{0.01, 0.02, 0.05, 0.10, 0.15, 0.20}
+	cfgs := []sim.Config{base}
+	for _, x := range xs {
 		cfg := o.config(sim.Hybrid2, comp)
 		cfg.ElasticSlack = x
-		rep, err := run(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("fig8 X=%v: %w", x, err)
-		}
+		cfgs = append(cfgs, cfg)
+	}
+	reps, err := o.runAll(cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("fig8: %w", err)
+	}
+	res := &Fig8Result{BaselineWall: reps[0].OppWallClock.Mean()}
+	for i, x := range xs {
+		rep := reps[i+1]
 		row := Fig8Row{
 			SlackPct:     x * 100,
 			MissIncrease: rep.ElasticMissIncrease,

@@ -25,16 +25,28 @@ type Fig9Result struct {
 	Cells []Fig9Cell
 }
 
-// Fig9 runs the 2×5 sweep.
+// Fig9 runs the 2×5 sweep, fanning the 10 independent runs across
+// o.Workers goroutines.
 func Fig9(o Options) (*Fig9Result, error) {
+	mixes := []workload.Composition{workload.Mix1(), workload.Mix2()}
+	pols := sim.Policies()
+	var cfgs []sim.Config
+	for _, mix := range mixes {
+		for _, pol := range pols {
+			cfgs = append(cfgs, o.config(pol, mix))
+		}
+	}
+	reps, err := o.runAll(cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("fig9: %w", err)
+	}
 	res := &Fig9Result{}
-	for _, mix := range []workload.Composition{workload.Mix1(), workload.Mix2()} {
+	k := 0
+	for _, mix := range mixes {
 		var base *sim.Report
-		for _, pol := range sim.Policies() {
-			rep, err := run(o.config(pol, mix))
-			if err != nil {
-				return nil, fmt.Errorf("fig9 %s/%v: %w", mix.Name, pol, err)
-			}
+		for _, pol := range pols {
+			rep := reps[k]
+			k++
 			if pol == sim.AllStrict {
 				base = rep
 			}

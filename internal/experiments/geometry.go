@@ -36,33 +36,27 @@ func Geometry(o Options) (*GeometryResult, error) {
 	type geo struct {
 		sizeMB, ways int
 	}
-	for _, g := range []geo{{1, 8}, {2, 16}, {4, 32}} {
-		mk := func(p sim.Policy) (sim.Config, error) {
+	geos := []geo{{1, 8}, {2, 16}, {4, 32}}
+	var cfgs []sim.Config
+	for _, g := range geos {
+		for _, p := range []sim.Policy{sim.AllStrict, sim.Hybrid2} {
 			cfg := o.config(p, workload.Single("bzip2"))
 			cfg.L2.SizeBytes = g.sizeMB << 20
 			cfg.L2.Ways = g.ways
 			cfg.RequestWays = g.ways * 7 / 16
 			if err := cfg.Validate(); err != nil {
-				return cfg, err
+				return nil, err
 			}
-			return cfg, nil
+			cfgs = append(cfgs, cfg)
 		}
-		baseCfg, err := mk(sim.AllStrict)
-		if err != nil {
-			return nil, err
-		}
-		base, err := run(baseCfg)
-		if err != nil {
-			return nil, fmt.Errorf("geometry %dMB all-strict: %w", g.sizeMB, err)
-		}
-		hyCfg, err := mk(sim.Hybrid2)
-		if err != nil {
-			return nil, err
-		}
-		hy, err := run(hyCfg)
-		if err != nil {
-			return nil, fmt.Errorf("geometry %dMB hybrid-2: %w", g.sizeMB, err)
-		}
+	}
+	reps, err := o.runAll(cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("geometry: %w", err)
+	}
+	for i, g := range geos {
+		base, hy := reps[2*i], reps[2*i+1]
+		reqWays := cfgs[2*i+1].RequestWays
 		if base.DeadlineHitRate != 1.0 || hy.DeadlineHitRate != 1.0 {
 			return nil, fmt.Errorf("geometry %dMB: guarantee broken (%v/%v)",
 				g.sizeMB, base.DeadlineHitRate, hy.DeadlineHitRate)
@@ -70,10 +64,10 @@ func Geometry(o Options) (*GeometryResult, error) {
 		res.Rows = append(res.Rows, GeometryRow{
 			SizeMB:  g.sizeMB,
 			Ways:    g.ways,
-			ReqWays: hyCfg.RequestWays,
+			ReqWays: reqWays,
 			HitRate: hy.DeadlineHitRate,
 			Speedup: hy.Speedup(base),
-			Concur:  g.ways / hyCfg.RequestWays,
+			Concur:  g.ways / reqWays,
 		})
 	}
 	return res, nil

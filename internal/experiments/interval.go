@@ -29,17 +29,22 @@ type IntervalResult struct {
 }
 
 // Interval sweeps the repartitioning interval on the Hybrid-2 bzip2
-// workload at the paper's X=5%.
+// workload at the paper's X=5%; the five points run concurrently.
 func Interval(o Options) (*IntervalResult, error) {
 	res := &IntervalResult{SlackPct: 5}
 	base := o.config(sim.Hybrid2, workload.Single("bzip2"))
+	var cfgs []sim.Config
 	for _, div := range []int64{400, 200, 100, 25, 10} {
 		cfg := base
 		cfg.StealIntervalInstr = cfg.JobInstr / div
-		rep, err := run(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("interval 1/%d: %w", div, err)
-		}
+		cfgs = append(cfgs, cfg)
+	}
+	reps, err := o.runAll(cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("interval: %w", err)
+	}
+	for i, rep := range reps {
+		cfg := cfgs[i]
 		res.Rows = append(res.Rows, IntervalRow{
 			IntervalInstr: cfg.StealIntervalInstr,
 			MissIncrease:  rep.ElasticMissIncrease,

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestParallelTablesByteIdentical pins the -parallel contract: the
+// rendered table of a multi-run experiment is byte-for-byte the same at
+// Workers: 8 as in the historical serial path. Configs are built in the
+// original loop order and reports are consumed in that order, so even
+// floating-point accumulation is unchanged.
+func TestParallelTablesByteIdentical(t *testing.T) {
+	render := func(name string, o Options) string {
+		t.Helper()
+		r, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("experiment %q not registered", name)
+		}
+		var buf bytes.Buffer
+		if err := r.Run(o, &buf); err != nil {
+			t.Fatalf("%s (workers=%d): %v", name, o.Workers, err)
+		}
+		return buf.String()
+	}
+	names := []string{"fig5", "fig9"}
+	if !testing.Short() {
+		names = append(names, "seeds") // runs the fig5 grid five times
+	}
+	for _, name := range names {
+		serial := Options{JobInstr: 5_000_000, Workers: 1}
+		par := serial
+		par.Workers = 8
+		a, b := render(name, serial), render(name, par)
+		if a != b {
+			t.Errorf("%s: rendered table differs between 1 and 8 workers\n--- serial ---\n%s\n--- workers=8 ---\n%s", name, a, b)
+		}
+		if len(a) == 0 {
+			t.Errorf("%s produced no output", name)
+		}
+	}
+}
+
+// TestWorkersZeroMeansSerial pins the backward-compatible default: a
+// zero-valued Options (every pre-existing caller) must still run and
+// match an explicit Workers: 1.
+func TestWorkersZeroMeansSerial(t *testing.T) {
+	run := func(o Options) string {
+		t.Helper()
+		r, err := Fig6(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		r.Render(&buf)
+		return buf.String()
+	}
+	zero := run(Options{JobInstr: 5_000_000})
+	one := run(Options{JobInstr: 5_000_000, Workers: 1})
+	if zero != one {
+		t.Error("Workers: 0 output differs from Workers: 1")
+	}
+}

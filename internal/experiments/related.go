@@ -101,15 +101,20 @@ func Related(o Options) (*RelatedResult, error) {
 		}
 		mix.Jobs = append(mix.Jobs, workload.JobTemplate{Benchmark: b, Hint: hint})
 	}
-	for _, pol := range []sim.Policy{sim.EqualPart, sim.UCPPart, sim.Hybrid2} {
-		rep, err := run(o.config(pol, mix))
-		if err != nil {
-			return nil, fmt.Errorf("related dynamic %v: %w", pol, err)
-		}
+	pols := []sim.Policy{sim.EqualPart, sim.UCPPart, sim.Hybrid2}
+	var cfgs []sim.Config
+	for _, pol := range pols {
+		cfgs = append(cfgs, o.config(pol, mix))
+	}
+	reps, err := o.runAll(cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("related dynamic: %w", err)
+	}
+	for i, pol := range pols {
 		res.Dynamic = append(res.Dynamic, RelatedDynamicRow{
 			Policy:  pol.String(),
-			Total:   rep.TotalCycles,
-			HitRate: rep.DeadlineHitRate,
+			Total:   reps[i].TotalCycles,
+			HitRate: reps[i].DeadlineHitRate,
 		})
 	}
 	return res, nil

@@ -27,23 +27,40 @@ type SeedsResult struct {
 	Cells []SeedsCell
 }
 
-// Seeds runs the Figure 5 grid across five seeds.
+// Seeds runs the Figure 5 grid across five seeds, fanning the 75
+// independent runs across o.Workers goroutines. Reports are folded into
+// the per-cell summaries in the exact bench → seed → policy order of the
+// historical serial loop, so the floating-point accumulation (and hence
+// the rendered table) is identical at any worker count.
 func Seeds(o Options) (*SeedsResult, error) {
 	seeds := []int64{1, 7, 23, 101, 443}
+	benches := []string{"gobmk", "hmmer", "bzip2"}
+	pols := sim.Policies()
 	res := &SeedsResult{Seeds: len(seeds)}
 	cells := map[string]*SeedsCell{}
 	key := func(w string, p sim.Policy) string { return w + "|" + p.String() }
-	for _, bench := range []string{"gobmk", "hmmer", "bzip2"} {
+	var cfgs []sim.Config
+	for _, bench := range benches {
 		comp := workload.Single(bench)
 		for _, seed := range seeds {
-			var base int64
-			for _, pol := range sim.Policies() {
+			for _, pol := range pols {
 				cfg := o.config(pol, comp)
 				cfg.Seed = seed
-				rep, err := run(cfg)
-				if err != nil {
-					return nil, fmt.Errorf("seeds %s/%v/%d: %w", bench, pol, seed, err)
-				}
+				cfgs = append(cfgs, cfg)
+			}
+		}
+	}
+	reps, err := o.runAll(cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("seeds: %w", err)
+	}
+	k := 0
+	for _, bench := range benches {
+		for range seeds {
+			var base int64
+			for _, pol := range pols {
+				rep := reps[k]
+				k++
 				if pol == sim.AllStrict {
 					base = rep.TotalCycles
 				}
@@ -51,16 +68,14 @@ func Seeds(o Options) (*SeedsResult, error) {
 				if !ok {
 					c = &SeedsCell{Workload: bench, Policy: pol}
 					cells[key(bench, pol)] = c
-					res.Cells = append(res.Cells, SeedsCell{})
 				}
 				c.HitRate.Add(rep.DeadlineHitRate)
 				c.Speedup.Add(float64(base) / float64(rep.TotalCycles))
 			}
 		}
 	}
-	res.Cells = res.Cells[:0]
-	for _, bench := range []string{"gobmk", "hmmer", "bzip2"} {
-		for _, pol := range sim.Policies() {
+	for _, bench := range benches {
+		for _, pol := range pols {
 			res.Cells = append(res.Cells, *cells[key(bench, pol)])
 		}
 	}

@@ -28,23 +28,26 @@ type SweepSlackResult struct {
 	BaselineWall float64
 }
 
-// SweepSlack runs the Mix-1 slack sweep.
+// SweepSlack runs the Mix-1 slack sweep; the stealing-disabled baseline
+// and all slack points run concurrently.
 func SweepSlack(o Options) (*SweepSlackResult, error) {
 	mix := workload.Mix1()
 	base := o.config(sim.Hybrid2, mix)
 	base.DisableStealing = true
-	baseRep, err := run(base)
-	if err != nil {
-		return nil, err
-	}
-	res := &SweepSlackResult{BaselineWall: baseRep.OppWallClock.Mean()}
-	for _, x := range []float64{0.01, 0.02, 0.05, 0.10, 0.20} {
+	xs := []float64{0.01, 0.02, 0.05, 0.10, 0.20}
+	cfgs := []sim.Config{base}
+	for _, x := range xs {
 		cfg := o.config(sim.Hybrid2, mix)
 		cfg.ElasticSlack = x
-		rep, err := run(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("sweep-slack X=%v: %w", x, err)
-		}
+		cfgs = append(cfgs, cfg)
+	}
+	reps, err := o.runAll(cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("sweep-slack: %w", err)
+	}
+	res := &SweepSlackResult{BaselineWall: reps[0].OppWallClock.Mean()}
+	for i, x := range xs {
+		rep := reps[i+1]
 		row := SweepSlackRow{
 			SlackPct:     x * 100,
 			MissIncrease: rep.ElasticMissIncrease,
@@ -102,14 +105,20 @@ type SweepPressureResult struct {
 // SweepPressure sweeps the Poisson probe rate over two orders of
 // magnitude on the All-Strict bzip2 workload.
 func SweepPressure(o Options) (*SweepPressureResult, error) {
-	res := &SweepPressureResult{}
-	for _, probes := range []float64{32, 128, 512, 2048} {
+	pressures := []float64{32, 128, 512, 2048}
+	var cfgs []sim.Config
+	for _, probes := range pressures {
 		cfg := o.config(sim.AllStrict, workload.Single("bzip2"))
 		cfg.ProbesPerTw = probes
-		rep, err := run(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("sweep-pressure %v: %w", probes, err)
-		}
+		cfgs = append(cfgs, cfg)
+	}
+	reps, err := o.runAll(cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("sweep-pressure: %w", err)
+	}
+	res := &SweepPressureResult{}
+	for i, probes := range pressures {
+		rep := reps[i]
 		res.Rows = append(res.Rows, SweepPressureRow{
 			ProbesPerTw: probes,
 			Submissions: len(rep.Jobs) + rep.Rejected,

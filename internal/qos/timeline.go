@@ -2,6 +2,7 @@ package qos
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -24,6 +25,7 @@ type Timeline struct {
 	capacity ResourceVector
 	res      []Reservation
 	nextID   int
+	cands    []int64 // fit-query scratch, reused across calls
 }
 
 // NewTimeline builds a timeline for a node with the given capacity.
@@ -85,13 +87,14 @@ func (t *Timeline) EarliestFit(vec ResourceVector, now, dur, deadline int64) (st
 	}
 	// Candidate starts: now itself and every reservation end after now —
 	// availability only increases at reservation ends.
-	cands := []int64{now}
+	cands := append(t.cands[:0], now)
 	for _, r := range t.res {
 		if r.End > now {
 			cands = append(cands, r.End)
 		}
 	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+	t.cands = cands
+	slices.Sort(cands)
 	for _, s := range cands {
 		if deadline != 0 && s+dur > deadline {
 			return 0, false // candidates ascend; later ones are worse
@@ -114,13 +117,22 @@ func (t *Timeline) LatestFit(vec ResourceVector, now, dur, deadline int64) (star
 	// Candidate starts, descending: deadline−dur, and for every
 	// reservation start s in range, s−dur (ending just as that
 	// reservation begins).
-	cands := []int64{deadline - dur}
+	cands := append(t.cands[:0], deadline-dur)
 	for _, r := range t.res {
 		if c := r.Start - dur; c >= now && c+dur <= deadline {
 			cands = append(cands, c)
 		}
 	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i] > cands[j] })
+	t.cands = cands
+	slices.SortFunc(cands, func(a, b int64) int {
+		switch {
+		case a > b:
+			return -1
+		case a < b:
+			return 1
+		}
+		return 0
+	})
 	for _, s := range cands {
 		if t.fits(vec, s, dur) {
 			return s, true

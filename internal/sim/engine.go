@@ -44,6 +44,23 @@ type Runner struct {
 	fragIdleCores float64
 	fragIdleWays  float64
 	fragInternal  float64
+
+	sc epochScratch
+}
+
+// epochScratch holds the per-epoch working slices, reused across steps so
+// the steady-state epoch loop allocates nothing. Nothing may retain these
+// slices past the epoch that filled them.
+type epochScratch struct {
+	byCore     [][]*Job
+	load       []int
+	reservedOn []*Job
+	needCore   []*Job
+	opps       []*Job
+	unplaced   []*Job
+	oppJobs    []*Job
+	freeCores  []int
+	live       []*Job
 }
 
 // New builds a runner for the configuration.
@@ -136,6 +153,9 @@ func New(cfg Config) (*Runner, error) {
 		r.model = newTableModel(cfg.CPU)
 	}
 	r.coreSched = make([]coreSchedState, cfg.Cores)
+	r.sc.byCore = make([][]*Job, cfg.Cores)
+	r.sc.load = make([]int, cfg.Cores)
+	r.sc.reservedOn = make([]*Job, cfg.Cores)
 	return r, nil
 }
 
@@ -197,8 +217,13 @@ func (r *Runner) accountFragmentation(byCore [][]*Job) {
 			if j.WaysF > coreWays {
 				coreWays = j.WaysF
 			}
-			if u := usefulWays(j.Profile); u > coreUseful {
-				coreUseful = u
+			if j.usefulW == 0 {
+				// Lazily memoized: the profile is fixed at submission and
+				// usefulWays is never below 1, so 0 means "not computed".
+				j.usefulW = usefulWays(j.Profile)
+			}
+			if j.usefulW > coreUseful {
+				coreUseful = j.usefulW
 			}
 			if j.ReservedRunning(r.now) {
 				reserved = true
@@ -512,10 +537,16 @@ func (r *Runner) switchBacks() {
 // EqualPart balances all jobs across all cores, modelling the default OS
 // scheduler.
 func (r *Runner) assignCores() [][]*Job {
-	byCore := make([][]*Job, r.cfg.Cores)
+	byCore := r.sc.byCore
+	for c := range byCore {
+		byCore[c] = byCore[c][:0]
+	}
 	if r.cfg.Policy.noAdmission() {
-		load := make([]int, r.cfg.Cores)
-		var unplaced []*Job
+		load := r.sc.load
+		for i := range load {
+			load[i] = 0
+		}
+		unplaced := r.sc.unplaced[:0]
 		for _, j := range r.accepted {
 			if j.State != StateRunning {
 				continue
@@ -532,6 +563,7 @@ func (r *Runner) assignCores() [][]*Job {
 			load[c]++
 			r.model.jobStarted(j)
 		}
+		r.sc.unplaced = unplaced
 		for _, j := range r.accepted {
 			if j.State == StateRunning {
 				byCore[j.Core] = append(byCore[j.Core], j)
@@ -540,9 +572,12 @@ func (r *Runner) assignCores() [][]*Job {
 		return byCore
 	}
 
-	reservedOn := make([]*Job, r.cfg.Cores)
-	var needCore []*Job
-	var opps []*Job
+	reservedOn := r.sc.reservedOn
+	for i := range reservedOn {
+		reservedOn[i] = nil
+	}
+	needCore := r.sc.needCore[:0]
+	opps := r.sc.opps[:0]
 	for _, j := range r.accepted {
 		if j.State != StateRunning {
 			continue
@@ -576,14 +611,17 @@ func (r *Runner) assignCores() [][]*Job {
 		}
 	}
 	// Opportunistic jobs: only on cores without reserved jobs.
-	load := make([]int, r.cfg.Cores)
-	var freeCores []int
+	load := r.sc.load
+	for i := range load {
+		load[i] = 0
+	}
+	freeCores := r.sc.freeCores[:0]
 	for c := 0; c < r.cfg.Cores; c++ {
 		if reservedOn[c] == nil {
 			freeCores = append(freeCores, c)
 		}
 	}
-	var oppUnplaced []*Job
+	oppUnplaced := r.sc.unplaced[:0]
 	for _, j := range opps {
 		if j.Core >= 0 && reservedOn[j.Core] == nil {
 			load[j.Core]++
@@ -606,6 +644,10 @@ func (r *Runner) assignCores() [][]*Job {
 		load[best]++
 		r.model.jobStarted(j)
 	}
+	r.sc.needCore = needCore
+	r.sc.opps = opps
+	r.sc.freeCores = freeCores
+	r.sc.unplaced = oppUnplaced
 	for _, j := range r.accepted {
 		if j.State == StateRunning && j.Core >= 0 {
 			byCore[j.Core] = append(byCore[j.Core], j)
@@ -644,7 +686,7 @@ func (r *Runner) assignWays(byCore [][]*Job) {
 		return
 	}
 	reservedWays := 0
-	var oppJobs []*Job
+	oppJobs := r.sc.oppJobs[:0]
 	for _, jobs := range byCore {
 		for _, j := range jobs {
 			if j.ReservedRunning(r.now) {
@@ -669,6 +711,7 @@ func (r *Runner) assignWays(byCore [][]*Job) {
 			j.WaysF = per
 		}
 	}
+	r.sc.oppJobs = oppJobs
 }
 
 // assignWaysUCP repartitions the L2 by utility each epoch: one demand
@@ -733,7 +776,8 @@ func (r *Runner) advanceCoreRR(core int, jobs []*Job, epoch int64) {
 	remaining := epoch
 	offset := int64(0)
 	for remaining > 0 {
-		live := liveJobs(jobs)
+		live := liveJobs(r.sc.live[:0], jobs)
+		r.sc.live = live
 		if len(live) == 0 {
 			return
 		}
@@ -763,16 +807,15 @@ func (r *Runner) advanceCoreRR(core int, jobs []*Job, epoch int64) {
 	}
 }
 
-// liveJobs filters a core list down to still-running jobs (completion
+// liveJobs appends a core list's still-running jobs to dst (completion
 // inside the epoch removes them from rotation).
-func liveJobs(jobs []*Job) []*Job {
-	live := jobs[:0:0]
+func liveJobs(dst []*Job, jobs []*Job) []*Job {
 	for _, j := range jobs {
 		if j.State == StateRunning {
-			live = append(live, j)
+			dst = append(dst, j)
 		}
 	}
-	return live
+	return dst
 }
 
 // advanceJob retires up to shareCycles worth of work for one job.

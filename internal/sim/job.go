@@ -89,6 +89,8 @@ type Job struct {
 	ActualCycles   int64
 	BaselineCycles float64
 
+	usefulW float64 // memoized usefulWays(Profile); 0 = not yet computed
+
 	// Trace-engine state.
 	stream        *workload.Stream
 	memStream     *workload.MemStream // full-hierarchy mode

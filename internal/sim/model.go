@@ -77,8 +77,9 @@ func (m *tableModel) advance(j *Job, instr int64) (int64, int64) {
 // partitioned L2; Elastic jobs are additionally tracked by a duplicate
 // tag array with set sampling, exactly as the stealing hardware would.
 type traceModel struct {
-	frozen []int // per-core frozen shadow target; -1 when not frozen
-	cfg    Config
+	frozen  []int // per-core frozen shadow target; -1 when not frozen
+	elastic []int // applyPartition scratch, reused every epoch
+	cfg     Config
 	params cpu.Params
 	l2     *cache.Partitioned
 	shadow *cache.ShadowTags
@@ -89,8 +90,9 @@ func newTraceModel(cfg Config) *traceModel {
 	m := &traceModel{
 		cfg:    cfg,
 		params: cfg.CPU,
-		shadow: cache.NewShadowTags(cfg.L2, cfg.SampleEvery),
-		frozen: make([]int, cfg.Cores),
+		shadow:  cache.NewShadowTags(cfg.L2, cfg.SampleEvery),
+		frozen:  make([]int, cfg.Cores),
+		elastic: make([]int, cfg.Cores),
 	}
 	if cfg.ModelL1 {
 		m.hier = cache.NewHierarchy(cfg.Cores, cfg.L1, cfg.L2)
@@ -132,7 +134,10 @@ func (m *traceModel) applyPartition(jobsByCore [][]*Job, now int64) {
 	// tags); everything else mirrors the main array. All targets are
 	// zeroed first so the per-set sum constraint is never transiently
 	// violated while reassigning.
-	elasticWays := make([]int, len(jobsByCore))
+	elasticWays := m.elastic
+	for i := range elasticWays {
+		elasticWays[i] = 0
+	}
 	for c, jobs := range jobsByCore {
 		for _, j := range jobs {
 			if j.Stealer != nil && j.ReservedRunning(now) {

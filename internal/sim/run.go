@@ -1,0 +1,24 @@
+package sim
+
+import "cmpqos/internal/parallel"
+
+// RunAll executes every configuration and returns the reports in the
+// same order, fanning out across at most workers goroutines (workers <= 1
+// runs serially in the calling goroutine; workers < 0 selects one worker
+// per CPU). Each run builds its own Runner, which owns all of its mutable
+// state, so runs never share anything; the ordered collection makes a
+// parallel sweep indistinguishable from a serial one to the caller. On
+// failure RunAll returns the error of the lowest-index failing
+// configuration, matching what a serial loop would have reported first.
+func RunAll(workers int, cfgs []Config) ([]*Report, error) {
+	if workers == 0 {
+		workers = 1
+	}
+	return parallel.Map(parallel.New(workers), len(cfgs), func(i int) (*Report, error) {
+		r, err := New(cfgs[i])
+		if err != nil {
+			return nil, err
+		}
+		return r.Run()
+	})
+}

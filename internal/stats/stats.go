@@ -1,7 +1,15 @@
 // Package stats provides the small statistical primitives used throughout
 // the simulator: running summaries, histograms, counters, and rate
-// trackers. Everything is allocation-light and safe for single-goroutine
-// simulation use; none of the types are internally synchronized.
+// trackers. Everything is allocation-light.
+//
+// Concurrency contract: none of the types are internally synchronized.
+// Every tracker belongs to exactly one simulation run (one sim.Runner),
+// and a run executes on a single goroutine. Cross-run parallelism lives
+// one layer up — internal/parallel fans complete, independent runs
+// across workers — so no stats value is ever shared between goroutines.
+// Aggregating results from several runs (e.g. folding per-seed Summary
+// values) must happen after the runs complete, on the caller's
+// goroutine, in a deterministic order.
 package stats
 
 import (

@@ -1,0 +1,44 @@
+#!/bin/sh
+# Runs the hot-path benchmark suite with allocation stats and records
+# the results as BENCH_<date>.json in the repo root. COUNT=N runs each
+# benchmark N times (the JSON then carries one entry per run; compare
+# medians, not single runs — single-run ns/op is noisy).
+set -eu
+cd "$(dirname "$0")/.."
+
+date="$(date +%F)"
+out="BENCH_${date}.json"
+benches='BenchmarkFig5$|BenchmarkSimTableEngine$|BenchmarkCachePartitioned$|BenchmarkShadowTagsObserve$'
+
+raw="$(go test -run '^$' -bench "$benches" -benchmem -count "${COUNT:-1}" .)"
+printf '%s\n' "$raw"
+
+{
+	printf '{\n'
+	printf '  "date": "%s",\n' "$date"
+	printf '  "go": "%s",\n' "$(go env GOVERSION)"
+	printf '  "host_cpus": %s,\n' "$(nproc)"
+	printf '  "results": [\n'
+	printf '%s\n' "$raw" | awk '
+		# Locate each value by its unit: benchmarks may report custom
+		# metrics that shift the column positions.
+		/^Benchmark/ {
+			name = $1
+			sub(/-[0-9]+$/, "", name)
+			ns = b = allocs = "null"
+			for (i = 3; i <= NF; i++) {
+				if ($i == "ns/op") ns = $(i - 1)
+				else if ($i == "B/op") b = $(i - 1)
+				else if ($i == "allocs/op") allocs = $(i - 1)
+			}
+			if (sep) printf ",\n"
+			printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s}", \
+				name, $2, ns, b, allocs
+			sep = 1
+		}
+		END { printf "\n" }
+	'
+	printf '  ]\n'
+	printf '}\n'
+} > "$out"
+echo "wrote $out"
