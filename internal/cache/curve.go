@@ -29,6 +29,23 @@ func (m MissCurve) At(ways int) float64 {
 	return m.Ratio[ways]
 }
 
+// Monotonic clamps the curve in place so that Ratio[w+1] <= Ratio[w]
+// and returns it. More cache can never hurt a true-LRU probe (the stack
+// property), but measured curves from noisy or non-LRU sources can
+// wiggle upward by a hair, and a non-monotone curve confuses consumers
+// that assume diminishing returns (the Figure 4 sensitivity
+// classification, the knee detection behind usefulWays in the sim
+// engine, the UCP lookahead allocator). Every measurement path in this
+// package applies it; for the single-owner LRU probes it is a no-op.
+func (m MissCurve) Monotonic() MissCurve {
+	for w := 1; w < len(m.Ratio); w++ {
+		if m.Ratio[w] > m.Ratio[w-1] {
+			m.Ratio[w] = m.Ratio[w-1]
+		}
+	}
+	return m
+}
+
 // ProbeMissRatio measures the steady-state miss ratio of one stream at a
 // single way allocation: `warmup` accesses to populate a fresh
 // single-owner partitioned cache, then `measure` accesses counted.
@@ -69,5 +86,5 @@ func ProbeMissCurve(cfg Config, mk func() AddrStream, warmup, measure int) MissC
 		}
 		curve.Ratio[w] = c.MissRatio(0)
 	}
-	return curve
+	return curve.Monotonic()
 }

@@ -99,7 +99,7 @@ func Table1(o Options) (*Table1Result, error) {
 		var mr float64
 		if o.Engine == sim.EngineTrace {
 			cfg := cache.Config{SizeBytes: 2 << 20, Ways: 16, BlockSize: 64, Owners: 1, HitCycles: 10}
-			mr = cache.ProbeMissRatio(cfg, p.NewStream(o.Seed+42, 0), 7, 300_000, 300_000)
+			mr = p.ProbeRatio(cfg, o.Seed+42, 0, 7, 300_000, 300_000)
 		} else {
 			mr = p.MissRatio(7)
 		}

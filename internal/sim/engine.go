@@ -121,7 +121,11 @@ func New(cfg Config) (*Runner, error) {
 			if accesses < 20_000 {
 				accesses = 20_000
 			}
-			mr = cache.ProbeMissRatio(singleOwner, p.NewStream(cfg.Seed, 0), reqWays, 0, accesses)
+			// Served from the memoized single-pass curve (bit-exact with
+			// the historical ProbeMissRatio replay): repeated Runner
+			// constructions across an experiment grid probe each
+			// (benchmark, geometry, window) once, not once per run.
+			mr = p.ProbeRatio(singleOwner, cfg.Seed, 0, reqWays, 0, accesses)
 		} else {
 			mr = p.MissRatio(reqWays)
 		}

@@ -124,11 +124,44 @@ func (m *MemStream) Next() cache.Addr {
 
 var _ cache.AddrStream = (*MemStream)(nil)
 
-// ProbeCurve measures this profile's miss-ratio-vs-ways curve through
-// the real partitioned cache model, using the synthetic stream. It is
-// the measurement behind Figure 4 and Table 1 in trace mode.
+// ProbeCurve measures this profile's miss-ratio-vs-ways curve from the
+// synthetic stream. It is the measurement behind Figure 4 and Table 1
+// in trace mode. Since PR 2 it runs the one-pass stack-distance
+// profiler (bit-exact with the historical per-allocation replays under
+// LRU, at 1/W of the work) and memoizes the result in
+// DefaultCurveStore; the stream is seeded with the historical (42, 0).
 func (p Profile) ProbeCurve(cfg cache.Config, warmup, measure int) cache.MissCurve {
-	return cache.ProbeMissCurve(cfg, func() cache.AddrStream {
-		return p.NewStream(42, 0)
-	}, warmup, measure)
+	return p.ProbeCurveSeeded(cfg, 42, 0, warmup, measure)
+}
+
+// ProbeCurveSeeded is ProbeCurve with explicit stream seeding, for call
+// sites that derive the stream from a simulation seed.
+func (p Profile) ProbeCurveSeeded(cfg cache.Config, seed int64, jobID, warmup, measure int) cache.MissCurve {
+	return p.probeCurve(cfg, seed, jobID, warmup, measure, 1)
+}
+
+// ProbeCurveSampled is ProbeCurveSeeded restricted to every `every`-th
+// cache set (the paper's §4.3 sampling discipline; see
+// cache.SinglePassMissCurveSampled for the error bound).
+func (p Profile) ProbeCurveSampled(cfg cache.Config, seed int64, jobID, warmup, measure, every int) cache.MissCurve {
+	return p.probeCurve(cfg, seed, jobID, warmup, measure, every)
+}
+
+func (p Profile) probeCurve(cfg cache.Config, seed int64, jobID, warmup, measure, every int) cache.MissCurve {
+	key := CurveKey{
+		Bench: p.Name, InputSet: p.InputSet, Geometry: cfg,
+		Seed: seed, JobID: jobID, Warmup: warmup, Measure: measure, Every: every,
+	}
+	return DefaultCurveStore.Curve(key, func() cache.MissCurve {
+		return cache.SinglePassMissCurveSampled(cfg, p.NewStream(seed, jobID), warmup, measure, every)
+	})
+}
+
+// ProbeRatio measures the miss ratio at a single way allocation. It is
+// served from the memoized full curve — the single-pass profiler makes
+// the whole curve cost the same as one allocation's replay, so the
+// other fifteen points come free for later callers — and is bit-exact
+// with cache.ProbeMissRatio over the same stream and window.
+func (p Profile) ProbeRatio(cfg cache.Config, seed int64, jobID, ways, warmup, measure int) float64 {
+	return p.ProbeCurveSeeded(cfg, seed, jobID, warmup, measure).At(ways)
 }

@@ -8,7 +8,7 @@ cd "$(dirname "$0")/.."
 
 date="$(date +%F)"
 out="BENCH_${date}.json"
-benches='BenchmarkFig5$|BenchmarkSimTableEngine$|BenchmarkCachePartitioned$|BenchmarkShadowTagsObserve$'
+benches='BenchmarkFig5$|BenchmarkSimTableEngine$|BenchmarkCachePartitioned$|BenchmarkShadowTagsObserve$|BenchmarkMissCurveReplay$|BenchmarkMissCurveSinglePass$|BenchmarkMissCurveSinglePassSampled$'
 
 raw="$(go test -run '^$' -bench "$benches" -benchmem -count "${COUNT:-1}" .)"
 printf '%s\n' "$raw"
