@@ -27,9 +27,12 @@ import (
 	"cmpqos/internal/workload"
 )
 
-// benchOpts are the scaled experiment options used by the figure benches.
+// benchOpts are the scaled experiment options used by the figure
+// benches. The cross-experiment run cache is disabled so every
+// iteration measures real simulation work — with the (default) cache
+// on, iterations after the first would only measure map hits.
 func benchOpts() experiments.Options {
-	return experiments.Options{JobInstr: 20_000_000}
+	return experiments.Options{JobInstr: 20_000_000, DisableRunCache: true}
 }
 
 func BenchmarkFig1(b *testing.B) {
@@ -319,6 +322,59 @@ func BenchmarkSimTableEngine(b *testing.B) {
 			b.Fatal(err)
 		}
 		if _, err := r.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimTableEngineNoPlanCache is the ablation pair of
+// BenchmarkSimTableEngine: the identical simulation with the epoch-plan
+// cache disabled, so the two together report the steady-state win of
+// reusing the plan between QoS events.
+func BenchmarkSimTableEngineNoPlanCache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := sim.DefaultConfig(sim.Hybrid2, workload.Single("bzip2"))
+		cfg.JobInstr = 10_000_000
+		cfg.StealIntervalInstr = 100_000
+		cfg.DisablePlanCache = true
+		r, err := sim.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExperimentPairRunCacheOff/On measure the end-to-end win of
+// the cross-experiment run cache on a real repeated workload: Figure 6
+// studies the same policy×bzip2 configurations Figure 5 already ran, so
+// with a shared (fresh per iteration) cache the whole second experiment
+// is served from memoized reports.
+func benchExperimentPair(b *testing.B, o experiments.Options) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig5(o); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.Fig6(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExperimentPairRunCacheOff(b *testing.B) {
+	benchExperimentPair(b, experiments.Options{JobInstr: 20_000_000, DisableRunCache: true})
+}
+
+func BenchmarkExperimentPairRunCacheOn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		o := experiments.Options{JobInstr: 20_000_000, Cache: sim.NewRunCache()}
+		if _, err := experiments.Fig5(o); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.Fig6(o); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -36,6 +36,7 @@ func main() {
 		instr     = flag.Int64("instr", 20_000_000, "instructions per job when simulating")
 		seeds     = flag.Int("seeds", 1, "with -simulate: run this many seeds of the job file")
 		parallel  = flag.Int("parallel", 1, "with -simulate: worker bound for the seed runs (0 = one per CPU)")
+		runCache  = flag.Bool("runcache", true, "with -simulate: memoize repeated simulation configs")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -60,7 +61,7 @@ func main() {
 	}
 
 	if *simulate {
-		runSimulation(spec, *instr, *seeds, *parallel)
+		runSimulation(spec, *instr, *seeds, *parallel, *runCache)
 		return
 	}
 
@@ -151,7 +152,7 @@ func parseClock(s string) (float64, error) {
 // same script runs once per seed — the runs are independent and fan out
 // across the worker bound (0 = one per CPU), the qosctl face of the
 // qossim -parallel flag.
-func runSimulation(spec *jobfile.Spec, instr int64, seeds, workers int) {
+func runSimulation(spec *jobfile.Spec, instr int64, seeds, workers int, useCache bool) {
 	if seeds < 1 {
 		seeds = 1
 	}
@@ -173,7 +174,11 @@ func runSimulation(spec *jobfile.Spec, instr int64, seeds, workers int) {
 		cfg.Seed += int64(s)
 		cfgs = append(cfgs, cfg)
 	}
-	reps, err := sim.RunAll(workers, cfgs)
+	cache := sim.DefaultRunCache
+	if !useCache {
+		cache = nil
+	}
+	reps, err := sim.RunAllCached(workers, cache, cfgs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qosctl:", err)
 		os.Exit(1)

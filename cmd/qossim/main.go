@@ -18,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"cmpqos/internal/experiments"
@@ -34,6 +36,10 @@ func main() {
 		list     = flag.Bool("list", false, "list available experiments")
 		asCSV    = flag.Bool("csv", false, "emit machine-readable CSV instead of text tables")
 		html     = flag.String("html", "", "write a single-file HTML report of ALL experiments to this path")
+		runCache = flag.Bool("runcache", true, "memoize repeated simulation configs across experiments")
+		planCach = flag.Bool("plancache", true, "reuse the epoch plan between QoS events inside the sim engine")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this path")
+		memProf  = flag.String("memprofile", "", "write a heap profile (taken at exit) to this path")
 	)
 	flag.Parse()
 
@@ -48,9 +54,43 @@ func main() {
 		return
 	}
 
-	opts := experiments.Options{JobInstr: *instr, Seed: *seed, Workers: *parallel}
+	opts := experiments.Options{
+		JobInstr:         *instr,
+		Seed:             *seed,
+		Workers:          *parallel,
+		DisableRunCache:  !*runCache,
+		DisablePlanCache: !*planCach,
+	}
 	if *parallel == 0 {
 		opts.Workers = -1 // flag value 0 means "all CPUs"
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qossim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "qossim:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qossim:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "qossim:", err)
+			}
+			f.Close()
+		}()
 	}
 	switch *engine {
 	case "table":

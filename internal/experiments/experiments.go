@@ -30,6 +30,33 @@ type Options struct {
 	// built in the same order as the historical serial loops, and reports
 	// are collected in submission order.
 	Workers int
+	// DisableRunCache turns off the cross-experiment run memoization:
+	// every simulation executes fresh instead of reusing the memoized
+	// report of an identical earlier configuration. Outputs are identical
+	// either way; disabling only costs time.
+	DisableRunCache bool
+	// Cache overrides the run cache consulted by the experiments; nil
+	// selects sim.DefaultRunCache. Tests inject private caches here to
+	// observe hit counts without cross-test interference.
+	Cache *sim.RunCache
+	// DisablePlanCache turns off the sim engine's epoch-plan cache for
+	// every configuration this experiment builds (forwarded to
+	// sim.Config.DisablePlanCache); used by the byte-identity tests and
+	// benchmarks.
+	DisablePlanCache bool
+}
+
+// cache resolves the run cache these options select: nil (uncached) when
+// disabled, the injected cache when set, the process-wide default
+// otherwise.
+func (o Options) cache() *sim.RunCache {
+	if o.DisableRunCache {
+		return nil
+	}
+	if o.Cache != nil {
+		return o.Cache
+	}
+	return sim.DefaultRunCache
 }
 
 // config builds a sim.Config for the options.
@@ -51,22 +78,20 @@ func (o Options) config(p sim.Policy, w workload.Composition) sim.Config {
 	if o.Seed != 0 {
 		cfg.Seed = o.Seed
 	}
+	cfg.DisablePlanCache = o.DisablePlanCache
 	return cfg
 }
 
-// run executes one configuration or fails loudly.
-func run(cfg sim.Config) (*sim.Report, error) {
-	r, err := sim.New(cfg)
-	if err != nil {
-		return nil, err
-	}
-	return r.Run()
+// run executes one configuration through the options' run cache.
+func (o Options) run(cfg sim.Config) (*sim.Report, error) {
+	return o.cache().Run(cfg)
 }
 
 // runAll executes a grid of configurations under the option's worker
-// bound and returns the reports in input order.
+// bound and returns the reports in input order, resolving each
+// configuration through the options' run cache.
 func (o Options) runAll(cfgs []sim.Config) ([]*sim.Report, error) {
-	return sim.RunAll(o.Workers, cfgs)
+	return sim.RunAllCached(o.Workers, o.cache(), cfgs)
 }
 
 // Runner is a named experiment entry point for the CLI.

@@ -56,7 +56,7 @@ func Fig3(o Options) (*Fig3Result, error) {
 		cfg.AcceptTarget = 6
 		cfg.RequestWays = 6 // ≈40% of the 16-way cache: two fit, three do not
 		cfg.DeadlineFactor = 1.5
-		rep, err := run(cfg)
+		rep, err := o.run(cfg)
 		if err != nil {
 			return nil, fmt.Errorf("fig3 %s: %w", sc.name, err)
 		}

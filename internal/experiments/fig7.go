@@ -27,11 +27,11 @@ type Fig7Result struct {
 
 // Fig7 runs both configurations.
 func Fig7(o Options) (*Fig7Result, error) {
-	strict, err := run(o.config(sim.AllStrict, workload.Single("bzip2")))
+	strict, err := o.run(o.config(sim.AllStrict, workload.Single("bzip2")))
 	if err != nil {
 		return nil, err
 	}
-	auto, err := run(o.config(sim.AllStrictAutoDown, workload.Single("bzip2")))
+	auto, err := o.run(o.config(sim.AllStrictAutoDown, workload.Single("bzip2")))
 	if err != nil {
 		return nil, err
 	}

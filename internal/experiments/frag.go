@@ -36,7 +36,7 @@ type FragResult struct {
 func Frag(o Options) (*FragResult, error) {
 	res := &FragResult{Workload: "gobmk"}
 	for _, pol := range sim.Policies() {
-		rep, err := run(o.config(pol, workload.Single("gobmk")))
+		rep, err := o.run(o.config(pol, workload.Single("gobmk")))
 		if err != nil {
 			return nil, fmt.Errorf("frag %v: %w", pol, err)
 		}

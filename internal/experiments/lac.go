@@ -31,7 +31,7 @@ func LAC(o Options) (*LACResult, error) {
 	for _, probes := range []float64{128, 512, 2048} {
 		cfg := o.config(sim.AllStrict, workload.Single("bzip2"))
 		cfg.ProbesPerTw = probes
-		rep, err := run(cfg)
+		rep, err := o.run(cfg)
 		if err != nil {
 			return nil, fmt.Errorf("lac probes=%v: %w", probes, err)
 		}

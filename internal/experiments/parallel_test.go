@@ -31,7 +31,10 @@ func TestParallelTablesByteIdentical(t *testing.T) {
 		names = append(names, "seeds") // runs the fig5 grid five times
 	}
 	for _, name := range names {
-		serial := Options{JobInstr: 5_000_000, Workers: 1}
+		// The run cache is disabled so the workers=8 pass really recomputes
+		// every simulation instead of reading the serial pass's memoized
+		// reports (cache-on identity is pinned by the golden sweep).
+		serial := Options{JobInstr: 5_000_000, Workers: 1, DisableRunCache: true}
 		par := serial
 		par.Workers = 8
 		a, b := render(name, serial), render(name, par)
@@ -97,7 +100,7 @@ func TestTraceTablesByteIdenticalAcrossWorkers(t *testing.T) {
 	render := func(workers int) string {
 		t.Helper()
 		workload.DefaultCurveStore.Reset()
-		r, err := Engines(Options{JobInstr: 5_000_000, Workers: workers})
+		r, err := Engines(Options{JobInstr: 5_000_000, Workers: workers, DisableRunCache: true})
 		if err != nil {
 			t.Fatalf("engines (workers=%d): %v", workers, err)
 		}

@@ -147,7 +147,7 @@ func (l *LAC) decide(req Request, commit bool) Decision {
 		// comparison, hence no admission control, hence no QoS.
 		return reject(ErrNotConvertible.Error())
 	}
-	rum, ok := req.Target.(RUM)
+	rum, ok := asRUMRef(req.Target)
 	if !ok {
 		return reject("qos: convertible target must be a RUM")
 	}

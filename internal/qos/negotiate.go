@@ -55,7 +55,7 @@ func (k OfferKind) String() string {
 // original deadline; opportunistic execution. It has no side effects;
 // the caller resubmits whichever offer the user accepts.
 func (l *LAC) Negotiate(req Request) []Offer {
-	rum, ok := req.Target.(RUM)
+	rum, ok := asRUMRef(req.Target)
 	if !ok || !rum.HasTimeslot() {
 		return nil
 	}

@@ -124,6 +124,34 @@ type RUM struct {
 	Deadline int64
 }
 
+// AsRUM extracts the RUM from a target passed by value or by pointer.
+// Hot callers (the simulator's admission path) pass *RUM so that one
+// reusable value serves every probe instead of boxing a fresh copy into
+// the Target interface per request; the LAC copies what it needs and
+// never retains the pointer.
+func AsRUM(t Target) (RUM, bool) {
+	switch v := t.(type) {
+	case RUM:
+		return v, true
+	case *RUM:
+		return *v, true
+	}
+	return RUM{}, false
+}
+
+// asRUMRef is the copy-free variant used inside the admission path: for
+// the hot *RUM case it returns the caller's pointer directly. Callers
+// must treat the result as read-only and not retain it past the call.
+func asRUMRef(t Target) (*RUM, bool) {
+	switch v := t.(type) {
+	case *RUM:
+		return v, true
+	case RUM:
+		return &v, true
+	}
+	return nil, false
+}
+
 // Convertible is always true for RUM targets.
 func (r RUM) Convertible() bool { return true }
 

@@ -197,6 +197,12 @@ type Config struct {
 	// scripted job has been resolved and all accepted ones finished.
 	// This is how jobfile-described workloads run end to end.
 	Script []ScriptedJob
+	// DisablePlanCache forces the engine to rebuild the epoch plan
+	// (core/way assignment) every epoch instead of reusing it between QoS
+	// events. Results are bit-identical either way — the cache only skips
+	// recomputation whose inputs have not changed — so this exists for
+	// verification and benchmarking, not semantics.
+	DisablePlanCache bool
 	// RecordSeries enables per-epoch telemetry sampling (running jobs,
 	// reserved ways, bus utilization) in the Report, at one sample per
 	// SeriesStride epochs (default 16 when enabled).

@@ -20,10 +20,10 @@ type Runner struct {
 	rec   *trace.Recorder
 	model model
 
-	jobs      []*Job // every submitted job, in submission order
 	accepted  []*Job
 	scriptPos int
 	rejected  int
+	doneN     int // finished (done or terminated) accepted jobs
 	now       int64
 	arrivals  *workload.Arrivals
 	dlmix     *workload.DeadlineMix
@@ -31,13 +31,44 @@ type Runner struct {
 	submitIdx int
 
 	twByBench map[string]int64
-	twInstr   int64 // instruction count the tw table was computed at
+	profByKey map[string]workload.Profile // resolved template profiles
+	twInstr   int64                       // instruction count the tw table was computed at
 	refTW     int64
 	reqWays   int
 	external  bool // arrivals are injected by a ClusterRunner
 	series    []SeriesSample
 	epochIdx  int64
 	coreSched []coreSchedState
+
+	// Epoch-plan cache (§7.4): the paper's framework re-evaluates
+	// admission and partitioning only at QoS events, so between events the
+	// core/way plan built by assignCores/assignWays is reused verbatim and
+	// an epoch reduces to the linear advance. planOK is cleared by every
+	// invalidating event (accepted arrival, completion, termination);
+	// planWake is the first cycle at which a timed event (job start,
+	// switch-back) forces a rebuild regardless. Steal adjusts and
+	// rollbacks change only way counts — never job states or core
+	// placement — so they set planWaysDirty instead, and the next epoch
+	// redoes just assignWays+buildPlan on the cached core assignment.
+	planOK        bool
+	planWaysDirty bool
+	planWake      int64
+
+	// Admission scratch: one reusable RUM passed by pointer so the ~400
+	// probes per tw window don't each box a fresh value into the Request
+	// interface (the LAC copies what it needs and never retains the
+	// pointer), plus a single-entry tw memo for the common case of every
+	// arrival drawing the same benchmark.
+	rum       qos.RUM
+	lastTWKey string
+	lastTW    int64
+	// modeByHint memoizes Config.ModeForHint per hint: the mapping is
+	// fixed for a run, and recomputing it per arrival copies the whole
+	// Config (value receiver) on the hottest path.
+	modeByHint [workload.NumModeHints]qos.Mode
+	planIdleCores float64 // memoized fragDeltas of the plan's state
+	planIdleWays  float64
+	planInternal  float64
 
 	// Fragmentation accumulators, in resource-epochs (§3.4): idle cores,
 	// unallocated-and-unscavenged ways, and reserved-but-unneeded ways.
@@ -74,6 +105,10 @@ func New(cfg Config) (*Runner, error) {
 		rec:       &trace.Recorder{},
 		dlmix:     workload.NewDeadlineMix(cfg.Seed),
 		twByBench: map[string]int64{},
+		profByKey: map[string]workload.Profile{},
+	}
+	for h := workload.ModeHint(0); h < workload.NumModeHints; h++ {
+		r.modeByHint[h] = cfg.ModeForHint(h)
 	}
 	// tw per benchmark: execution time at the requested 7 ways with an
 	// unloaded memory system, inflated by the overspecification margin.
@@ -95,6 +130,7 @@ func New(cfg Config) (*Runner, error) {
 			continue
 		}
 		p := resolveProfile(jt)
+		r.profByKey[key] = p
 		var mr float64
 		if cfg.Engine == EngineTrace && cfg.ModelL1 {
 			// Cold hierarchy profile: measure the post-L1 operating
@@ -178,36 +214,100 @@ func (r *Runner) Run() (*Report, error) {
 	return r.report(), nil
 }
 
-// step advances the simulation by one epoch.
+// step advances the simulation by one epoch. In the steady state — no
+// QoS event since the last plan build, and no timed event (job start,
+// switch-back) due yet — the epoch reuses the cached core/way plan and
+// skips straight to the advance; the reused plan is byte-for-byte the
+// one a full rebuild would produce, because every input of
+// assignCores/assignWays is unchanged between events.
 func (r *Runner) step() {
 	epochEnd := r.now + r.cfg.EpochCycles
 	if !r.external {
 		r.processArrivals(epochEnd)
 	}
-	r.startJobs()
-	r.switchBacks()
-	byCore := r.assignCores()
-	r.assignWays(byCore)
+	byCore := r.sc.byCore
+	switch {
+	case r.planOK && r.now < r.planWake && !r.planWaysDirty:
+		// Steady state: reuse the plan verbatim.
+	case r.planOK && r.now < r.planWake:
+		// A steal adjust or rollback moved way counts but left every job
+		// state and core placement untouched: redo only the way split on
+		// the cached core assignment.
+		r.assignWays(byCore)
+		r.planWaysDirty = false
+		r.buildPlan(byCore)
+	default:
+		r.startJobs()
+		r.switchBacks()
+		byCore = r.assignCores()
+		r.assignWays(byCore)
+		r.planWaysDirty = false
+		r.buildPlan(byCore)
+	}
+	// The trace engine's partition/shadow state must see every epoch
+	// (frozen shadow targets heal over time even with a fixed plan); the
+	// table engine's applyPartition is a no-op.
 	r.model.applyPartition(byCore, r.now)
 	r.advanceAll(byCore)
-	r.accountFragmentation(byCore)
+	if r.planOK {
+		// No event fired during the advance, so the post-advance state is
+		// exactly the plan's state and the memoized deltas apply verbatim.
+		r.fragIdleCores += r.planIdleCores
+		r.fragIdleWays += r.planIdleWays
+		r.fragInternal += r.planInternal
+	} else {
+		r.accountFragmentation(byCore)
+	}
 	r.bus.Roll(r.cfg.EpochCycles)
 	r.sample()
 	r.now = epochEnd
 	r.epochIdx++
 }
 
+// buildPlan memoizes the freshly built epoch plan: its fragmentation
+// deltas, and the next cycle at which a timed transition (waiting job
+// start, auto-downgrade switch-back) changes scheduling inputs and
+// forces a rebuild. Event-driven invalidation (arrival, completion,
+// steal) clears planOK at the event site.
+func (r *Runner) buildPlan(byCore [][]*Job) {
+	if r.cfg.DisablePlanCache {
+		r.planOK = false
+		return
+	}
+	r.planIdleCores, r.planIdleWays, r.planInternal = r.fragDeltas(byCore)
+	wake := int64(r.cfg.MaxCycles)
+	for _, j := range r.accepted {
+		switch {
+		case j.State == StateWaiting:
+			if j.StartAt < wake {
+				wake = j.StartAt
+			}
+		case j.State == StateRunning && j.AutoDowngraded && !j.switched && j.SwitchBack < wake:
+			wake = j.SwitchBack
+		}
+	}
+	r.planWake = wake
+	r.planOK = true
+}
+
 // accountFragmentation accrues the epoch's idle and wasted resources.
-// Internal fragmentation is a *reservation* concept (§3.4): it counts
+func (r *Runner) accountFragmentation(byCore [][]*Job) {
+	idleCores, idleWays, internal := r.fragDeltas(byCore)
+	r.fragIdleCores += idleCores
+	r.fragIdleWays += idleWays
+	r.fragInternal += internal
+}
+
+// fragDeltas computes one epoch's fragmentation contributions (§3.4).
+// Internal fragmentation is a *reservation* concept: it counts
 // reserved-but-unneeded capacity, so only cores running reserved jobs
 // contribute, and EqualPart — which reserves nothing — reports zero by
 // definition. A job's "useful" ways are where its miss curve's marginal
 // benefit drops below 1% of its 1-way miss ratio; reserving beyond that
 // is the capacity resource stealing recovers.
-func (r *Runner) accountFragmentation(byCore [][]*Job) {
+func (r *Runner) fragDeltas(byCore [][]*Job) (idleCores, idleWays, internal float64) {
 	busyCores := 0
 	usedWays := 0.0
-	internal := 0.0
 	for _, jobs := range byCore {
 		if len(jobs) == 0 {
 			continue
@@ -238,11 +338,11 @@ func (r *Runner) accountFragmentation(byCore [][]*Job) {
 			internal += coreWays - coreUseful
 		}
 	}
-	r.fragIdleCores += float64(r.cfg.Cores - busyCores)
+	idleCores = float64(r.cfg.Cores - busyCores)
 	if idle := float64(r.cfg.L2.Ways) - usedWays; idle > 0 {
-		r.fragIdleWays += idle
+		idleWays = idle
 	}
-	r.fragInternal += internal
+	return idleCores, idleWays, internal
 }
 
 // usefulWays is the smallest allocation beyond which the profile's miss
@@ -269,6 +369,11 @@ func (r *Runner) sample() {
 	if r.epochIdx%stride != 0 {
 		return
 	}
+	if r.series == nil {
+		// Sized for a typical run (samples every `stride` epochs); longer
+		// runs grow from here instead of from a 1-element slice.
+		r.series = make([]SeriesSample, 0, 128)
+	}
 	s := SeriesSample{Cycle: r.now, BusUtil: r.bus.Utilization()}
 	for _, j := range r.accepted {
 		switch j.State {
@@ -289,15 +394,10 @@ func (r *Runner) sample() {
 // idle reports whether every accepted job has finished.
 func (r *Runner) idle() bool { return r.doneCount() == len(r.accepted) }
 
-func (r *Runner) doneCount() int {
-	n := 0
-	for _, j := range r.accepted {
-		if j.State == StateDone || j.State == StateTerminated {
-			n++
-		}
-	}
-	return n
-}
+// doneCount returns how many accepted jobs have finished (done or
+// terminated); advanceJob maintains the counter incrementally so the
+// per-epoch termination check is O(1).
+func (r *Runner) doneCount() int { return r.doneN }
 
 func (r *Runner) done() bool {
 	if len(r.cfg.Script) > 0 {
@@ -383,6 +483,15 @@ func probeHierarchy(cfg Config, p workload.Profile, ways int) (h2, missRatio flo
 
 // twKey identifies a template's wall-clock budget: phased variants of
 // the same benchmark budget differently.
+// modeFor resolves a hint through the per-run memo table, falling back
+// to the Config method for out-of-range hints.
+func (r *Runner) modeFor(h workload.ModeHint) qos.Mode {
+	if h >= 0 && h < workload.NumModeHints {
+		return r.modeByHint[h]
+	}
+	return r.cfg.ModeForHint(h)
+}
+
 func twKey(jt workload.JobTemplate) string {
 	if len(jt.Phases) == 0 {
 		return jt.Benchmark
@@ -407,31 +516,35 @@ func (r *Runner) probeTemplate(tmpl workload.JobTemplate, dl workload.DeadlineCl
 	if r.lac == nil {
 		return ta, true
 	}
-	tw := r.twByBench[twKey(tmpl)]
+	tw := r.twFor(twKey(tmpl))
 	factor := dl.Factor()
 	if r.cfg.DeadlineFactor > 0 {
 		factor = r.cfg.DeadlineFactor
 	}
+	r.rum = qos.RUM{
+		Resources:    qos.ResourceVector{Cores: 1, CacheWays: r.reqWays},
+		MaxWallClock: tw,
+		Deadline:     ta + int64(factor*float64(tw)),
+	}
 	d := r.lac.Probe(qos.Request{
-		JobID: -1,
-		Target: qos.RUM{
-			Resources:    qos.ResourceVector{Cores: 1, CacheWays: r.reqWays},
-			MaxWallClock: tw,
-			Deadline:     ta + int64(factor*float64(tw)),
-		},
-		Mode:    r.cfg.ModeForHint(tmpl.Hint),
+		JobID:   -1,
+		Target:  &r.rum,
+		Mode:    r.modeFor(tmpl.Hint),
 		Arrival: ta,
 	})
 	return d.Start, d.Accepted
 }
 
 // submitTemplate runs one admission attempt and returns whether the job
-// was accepted.
+// was accepted. Under the paper's arrival pressure (4×128 probes per tw)
+// rejections outnumber acceptances ~80:1, so the rejection path records
+// its two events and touches nothing else: the Job object, its resolved
+// profile, and the deadline bookkeeping are built only after acceptance.
 func (r *Runner) submitTemplate(tmpl workload.JobTemplate, dl workload.DeadlineClass, ta int64) bool {
 	r.submitIdx++
 	id := r.submitIdx
-	prof := resolveProfile(tmpl)
-	tw := r.twByBench[twKey(tmpl)]
+	key := twKey(tmpl)
+	tw := r.twFor(key)
 	if r.cfg.JobInstr != r.twInstr {
 		// Scripted per-job instruction override: tw scales with length.
 		tw = int64(float64(tw) * float64(r.cfg.JobInstr) / float64(r.twInstr))
@@ -441,6 +554,29 @@ func (r *Runner) submitTemplate(tmpl workload.JobTemplate, dl workload.DeadlineC
 		factor = r.cfg.DeadlineFactor
 	}
 	td := ta + int64(factor*float64(tw))
+	mode := r.modeFor(tmpl.Hint)
+	r.rec.Record(trace.Event{Cycle: ta, JobID: id, Kind: trace.Submitted})
+
+	var dec qos.Decision
+	if !r.cfg.Policy.noAdmission() {
+		r.rum = qos.RUM{
+			Resources:    qos.ResourceVector{Cores: 1, CacheWays: r.reqWays},
+			MaxWallClock: tw,
+			Deadline:     td,
+		}
+		dec = r.lac.Admit(qos.Request{
+			JobID:   id,
+			Target:  &r.rum,
+			Mode:    mode,
+			Arrival: ta,
+		})
+		if !dec.Accepted {
+			r.rejected++
+			r.rec.Record(trace.Event{Cycle: ta, JobID: id, Kind: trace.Rejected})
+			return false
+		}
+	}
+
 	instr := r.cfg.JobInstr
 	if r.cfg.OverrunFactor > 1 && len(r.accepted) == r.cfg.OverrunJobSlot {
 		// Failure injection: this job's user underspecified tw.
@@ -448,9 +584,9 @@ func (r *Runner) submitTemplate(tmpl workload.JobTemplate, dl workload.DeadlineC
 	}
 	j := &Job{
 		ID:           id,
-		Profile:      prof,
+		Profile:      r.resolveTemplate(key, tmpl),
 		Hint:         tmpl.Hint,
-		Mode:         r.cfg.ModeForHint(tmpl.Hint),
+		Mode:         mode,
 		DlClass:      dl,
 		Arrival:      ta,
 		TW:           tw,
@@ -459,8 +595,7 @@ func (r *Runner) submitTemplate(tmpl workload.JobTemplate, dl workload.DeadlineC
 		Core:         -1,
 		WaysReserved: r.reqWays,
 	}
-	r.jobs = append(r.jobs, j)
-	r.rec.Record(trace.Event{Cycle: ta, JobID: id, Kind: trace.Submitted})
+	r.planOK = false // an accepted arrival changes the epoch plan
 
 	if r.cfg.Policy.noAdmission() {
 		// No admission control: every job is accepted and handed to the
@@ -472,23 +607,6 @@ func (r *Runner) submitTemplate(tmpl workload.JobTemplate, dl workload.DeadlineC
 		return true
 	}
 
-	req := qos.Request{
-		JobID: id,
-		Target: qos.RUM{
-			Resources:    qos.ResourceVector{Cores: 1, CacheWays: r.reqWays},
-			MaxWallClock: tw,
-			Deadline:     td,
-		},
-		Mode:    j.Mode,
-		Arrival: ta,
-	}
-	dec := r.lac.Admit(req)
-	if !dec.Accepted {
-		j.State = StateRejected
-		r.rejected++
-		r.rec.Record(trace.Event{Cycle: ta, JobID: id, Kind: trace.Rejected})
-		return false
-	}
 	j.ReservationID = dec.ReservationID
 	switch {
 	case dec.AutoDowngraded:
@@ -506,6 +624,32 @@ func (r *Runner) submitTemplate(tmpl workload.JobTemplate, dl workload.DeadlineC
 	return true
 }
 
+// twFor returns the template's tw budget with a single-entry memo in
+// front of the map: successive arrivals overwhelmingly draw the same
+// benchmark, and comparing an interned key string is cheaper than
+// hashing it.
+func (r *Runner) twFor(key string) int64 {
+	if key == r.lastTWKey && key != "" {
+		return r.lastTW
+	}
+	tw := r.twByBench[key]
+	r.lastTWKey, r.lastTW = key, tw
+	return tw
+}
+
+// resolveTemplate returns the template's materialized profile, memoized
+// per tw key (the key pins benchmark and phase overrides, the only
+// inputs of resolveProfile). New pre-populates the map for every
+// template it budgets, so submissions never re-resolve.
+func (r *Runner) resolveTemplate(key string, tmpl workload.JobTemplate) workload.Profile {
+	if p, ok := r.profByKey[key]; ok {
+		return p
+	}
+	p := resolveProfile(tmpl)
+	r.profByKey[key] = p
+	return p
+}
+
 // startJobs moves waiting jobs whose start time has come into the
 // running state.
 func (r *Runner) startJobs() {
@@ -517,6 +661,10 @@ func (r *Runner) startJobs() {
 		j.Started = r.now
 		if j.Mode.Kind == qos.KindElastic && !r.cfg.DisableStealing {
 			j.Stealer = steal.New(j.Mode.Slack, j.WaysReserved, 1)
+			// Curve lookups at the fixed original allocation, reused by
+			// the shadow-baseline accounting every epoch.
+			j.mpifRes = j.Profile.MPIF(float64(j.WaysReserved))
+			j.mpiRes = j.Profile.MPI(j.WaysReserved)
 		}
 		r.rec.Record(trace.Event{Cycle: r.now, JobID: j.ID, Kind: trace.Started})
 		if j.AutoDowngraded {
@@ -680,7 +828,7 @@ func (r *Runner) assignWays(byCore [][]*Job) {
 		per := float64(r.cfg.L2.Ways) / float64(r.cfg.Cores)
 		for _, jobs := range byCore {
 			for _, j := range jobs {
-				j.WaysF = per
+				j.setWaysF(per)
 			}
 		}
 		return
@@ -698,7 +846,7 @@ func (r *Runner) assignWays(byCore [][]*Job) {
 				if j.Stealer != nil {
 					w = j.Stealer.Ways()
 				}
-				j.WaysF = float64(w)
+				j.setWaysF(float64(w))
 				reservedWays += w
 			} else {
 				oppJobs = append(oppJobs, j)
@@ -712,7 +860,7 @@ func (r *Runner) assignWays(byCore [][]*Job) {
 			per = 0.25 // a thrashing minimum; opportunistic jobs never stop
 		}
 		for _, j := range oppJobs {
-			j.WaysF = per
+			j.setWaysF(per)
 		}
 	}
 	r.sc.oppJobs = oppJobs
@@ -743,7 +891,7 @@ func (r *Runner) assignWaysUCP(byCore [][]*Job) {
 	ways := alloc.UCP(demands, r.cfg.L2.Ways)
 	for i, c := range cores {
 		for _, j := range byCore[c] {
-			j.WaysF = float64(ways[i])
+			j.setWaysF(float64(ways[i]))
 		}
 	}
 }
@@ -843,7 +991,9 @@ func (r *Runner) advanceJob(j *Job, shareCycles, sharers, offset int64) {
 	j.InstrDone += instr
 	j.ActualCycles += consumed
 	if j.Stealer != nil {
-		j.BaselineCycles += float64(instr) * j.Profile.CPIF(r.cfg.CPU, float64(j.WaysReserved), pen)
+		// CPIF at the fixed original allocation, with the curve lookup
+		// memoized at Stealer creation (j.mpifRes).
+		j.BaselineCycles += float64(instr) * r.cfg.CPU.CPI(j.Profile.CPIL1Inf, j.Profile.L2APA, j.mpifRes, pen)
 	} else {
 		j.BaselineCycles += float64(instr) * cpi
 	}
@@ -855,6 +1005,8 @@ func (r *Runner) advanceJob(j *Job, shareCycles, sharers, offset int64) {
 		}
 		j.State = StateTerminated
 		j.Core = -1
+		r.doneN++
+		r.planOK = false // a termination frees a core and its ways
 		if r.lac != nil {
 			r.lac.Complete(j.ID, j.Mode, j.Completed)
 		}
@@ -869,6 +1021,8 @@ func (r *Runner) advanceJob(j *Job, shareCycles, sharers, offset int64) {
 		j.Completed = r.now + wall
 		j.State = StateDone
 		j.Core = -1
+		r.doneN++
+		r.planOK = false // a completion frees a core and its ways
 		if r.lac != nil {
 			r.lac.Complete(j.ID, j.Mode, j.Completed)
 		}
@@ -931,9 +1085,11 @@ func (r *Runner) runStealing(j *Job, instr int64) {
 		pause := r.bus.Saturated() || !r.model.stealReady(j)
 		switch j.Stealer.OnInterval(j.MainMisses, j.ShadowMisses, pause) {
 		case steal.StealOne:
+			r.planWaysDirty = true // the donor's way count changed
 			r.rec.Record(trace.Event{Cycle: r.now, JobID: j.ID, Kind: trace.StealWay,
 				Detail: int64(j.Stealer.Ways())})
 		case steal.Rollback:
+			r.planWaysDirty = true // stolen ways returned to the donor
 			r.rec.Record(trace.Event{Cycle: r.now, JobID: j.ID, Kind: trace.RollbackSteal,
 				Detail: int64(j.Stealer.Ways())})
 		}

@@ -91,6 +91,14 @@ type Job struct {
 
 	usefulW float64 // memoized usefulWays(Profile); 0 = not yet computed
 
+	// Memoized miss-curve lookups for the per-epoch advance: the curve is
+	// fixed per job and WaysF changes only when the epoch plan is rebuilt,
+	// so the table engine reuses the exact bits of one MPIF/MPI call
+	// instead of re-interpolating every epoch.
+	mpifCur float64 // Profile.MPIF(WaysF), refreshed by setWaysF
+	mpifRes float64 // Profile.MPIF(WaysReserved), set at Stealer creation
+	mpiRes  float64 // Profile.MPI(WaysReserved), set at Stealer creation
+
 	// Trace-engine state.
 	stream        *workload.Stream
 	memStream     *workload.MemStream // full-hierarchy mode
@@ -109,6 +117,14 @@ func (j *Job) nextWrite() bool {
 	}
 	j.writeLCG = j.writeLCG*6364136223846793005 + 1442695040888963407
 	return float64(j.writeLCG>>40)/float64(1<<24) < workload.WriteFraction
+}
+
+// setWaysF sets the job's effective way allocation for the epoch and
+// refreshes the memoized curve lookup at that allocation. All WaysF
+// writes go through here so mpifCur can never go stale.
+func (j *Job) setWaysF(w float64) {
+	j.WaysF = w
+	j.mpifCur = j.Profile.MPIF(w)
 }
 
 // ReservedRunning reports whether the job currently executes with

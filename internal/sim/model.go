@@ -46,26 +46,30 @@ func (m *tableModel) stealReady(*Job) bool { return true }
 
 func (m *tableModel) applyPartition([][]*Job, int64) {}
 
-// phaseScale returns the job's current phase MPI multiplier.
+// phaseScale returns the job's current phase MPI multiplier. Phaseless
+// profiles (the common case) answer without the Profile value copy a
+// PhaseScale method call costs.
 func phaseScale(j *Job) float64 {
-	if j.InstrTotal == 0 {
+	if j.InstrTotal == 0 || len(j.Profile.Phases) == 0 {
 		return 1
 	}
 	return j.Profile.PhaseScale(float64(j.InstrDone) / float64(j.InstrTotal))
 }
 
 func (m *tableModel) cpiFor(j *Job, memPenalty float64) float64 {
+	// j.mpifCur is the memoized MPIF(WaysF) — the exact bits of the curve
+	// interpolation, refreshed whenever the plan assigns ways.
 	scale := phaseScale(j)
 	return m.params.CPI(j.Profile.CPIL1Inf, j.Profile.L2APA,
-		j.Profile.MPIF(j.WaysF)*scale, memPenalty)
+		j.mpifCur*scale, memPenalty)
 }
 
 func (m *tableModel) advance(j *Job, instr int64) (int64, int64) {
 	scale := phaseScale(j)
-	misses := int64(float64(instr) * j.Profile.MPIF(j.WaysF) * scale)
+	misses := int64(float64(instr) * j.mpifCur * scale)
 	j.MainMisses += misses
 	if j.Stealer != nil {
-		j.ShadowMisses += int64(float64(instr) * j.Profile.MPI(j.WaysReserved) * scale)
+		j.ShadowMisses += int64(float64(instr) * j.mpiRes * scale)
 	} else {
 		j.ShadowMisses += misses
 	}

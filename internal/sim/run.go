@@ -11,14 +11,23 @@ import "cmpqos/internal/parallel"
 // failure RunAll returns the error of the lowest-index failing
 // configuration, matching what a serial loop would have reported first.
 func RunAll(workers int, cfgs []Config) ([]*Report, error) {
+	return RunAllCached(workers, nil, cfgs)
+}
+
+// RunAllCached is RunAll with run memoization: each configuration is
+// resolved through the cache, so configurations repeated within the grid
+// — or already executed by an earlier grid sharing the cache — reuse the
+// memoized report instead of simulating again. Duplicates collapse to a
+// single simulation even across workers (the cache's singleflight blocks
+// them until the first run finishes), and because a simulation is a pure
+// function of its Config, the collected reports are indistinguishable
+// from uncached ones. A nil cache disables memoization, making this
+// identical to RunAll.
+func RunAllCached(workers int, cache *RunCache, cfgs []Config) ([]*Report, error) {
 	if workers == 0 {
 		workers = 1
 	}
 	return parallel.Map(parallel.New(workers), len(cfgs), func(i int) (*Report, error) {
-		r, err := New(cfgs[i])
-		if err != nil {
-			return nil, err
-		}
-		return r.Run()
+		return cache.Run(cfgs[i])
 	})
 }

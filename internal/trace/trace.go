@@ -11,8 +11,10 @@ import (
 	"strings"
 )
 
-// EventKind enumerates recorded events.
-type EventKind int
+// EventKind enumerates recorded events. The narrow underlying type
+// keeps Event at 32 bytes — recording is on the simulator's hot path
+// and the event log dominates its steady-state memory traffic.
+type EventKind uint8
 
 const (
 	// Submitted: the job arrived and probed the admission controller.
@@ -54,35 +56,82 @@ func (k EventKind) String() string {
 // Event is one recorded occurrence.
 type Event struct {
 	Cycle       int64
+	Detail      int64 // kind-specific: Accepted → scheduled start; StealWay → new ways
 	JobID       int
 	Kind        EventKind
-	DeadlineMet bool  // Completed only
-	Detail      int64 // kind-specific: Accepted → scheduled start; StealWay → new ways
+	DeadlineMet bool // Completed only
 }
 
 // Recorder accumulates events. The zero value is ready to use.
+//
+// Storage grows in place: events live in a list of fixed blocks, so an
+// append never copies previously recorded events (a flat slice re-copies
+// its whole history on every growth — measurable churn on long
+// simulations that record hundreds of thousands of events).
 type Recorder struct {
-	events []Event
+	blocks [][]Event
+	n      int
 }
 
+const (
+	recorderFirstBlock = 256
+	recorderMaxBlock   = 16384
+)
+
 // Record appends an event.
-func (r *Recorder) Record(e Event) { r.events = append(r.events, e) }
+func (r *Recorder) Record(e Event) {
+	last := len(r.blocks) - 1
+	if last < 0 || len(r.blocks[last]) == cap(r.blocks[last]) {
+		size := recorderFirstBlock
+		if last >= 0 {
+			size = cap(r.blocks[last]) * 2
+			if size > recorderMaxBlock {
+				size = recorderMaxBlock
+			}
+		}
+		r.blocks = append(r.blocks, make([]Event, 0, size))
+		last++
+	}
+	r.blocks[last] = append(r.blocks[last], e)
+	r.n++
+}
+
+// each calls fn for every event in recording order.
+func (r *Recorder) each(fn func(Event)) {
+	for _, b := range r.blocks {
+		for _, e := range b {
+			fn(e)
+		}
+	}
+}
 
 // Events returns all events in recording order.
 func (r *Recorder) Events() []Event {
-	out := make([]Event, len(r.events))
-	copy(out, r.events)
+	out := make([]Event, 0, r.n)
+	for _, b := range r.blocks {
+		out = append(out, b...)
+	}
 	return out
 }
 
-// ByJob returns the events of one job in cycle order.
+// ByJob returns the events of one job in cycle order. A counting pass
+// sizes the result exactly, so one allocation serves any event count.
 func (r *Recorder) ByJob(jobID int) []Event {
-	var out []Event
-	for _, e := range r.events {
+	n := 0
+	r.each(func(e Event) {
+		if e.JobID == jobID {
+			n++
+		}
+	})
+	if n == 0 {
+		return nil
+	}
+	out := make([]Event, 0, n)
+	r.each(func(e Event) {
 		if e.JobID == jobID {
 			out = append(out, e)
 		}
-	}
+	})
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Cycle < out[j].Cycle })
 	return out
 }
@@ -90,11 +139,11 @@ func (r *Recorder) ByJob(jobID int) []Event {
 // Count returns how many events of the given kind were recorded.
 func (r *Recorder) Count(kind EventKind) int {
 	n := 0
-	for _, e := range r.events {
+	r.each(func(e Event) {
 		if e.Kind == kind {
 			n++
 		}
-	}
+	})
 	return n
 }
 
@@ -118,14 +167,22 @@ func (r *Recorder) Lanes(deadlines map[int]int64) []Lane {
 		seen  bool
 		order int
 	}
-	m := map[int]*agg{}
-	order := 0
-	for _, e := range r.events {
-		a, ok := m[e.JobID]
-		if !ok {
-			a = &agg{lane: Lane{JobID: e.JobID}, order: 1 << 30}
-			m[e.JobID] = a
+	// One counting pass sizes the aggregate store to the number of
+	// distinct jobs, so long traces build lanes without per-job pointer
+	// allocations or append-grow churn.
+	idx := map[int]int{}
+	r.each(func(e Event) {
+		if _, ok := idx[e.JobID]; !ok {
+			idx[e.JobID] = len(idx)
 		}
+	})
+	aggs := make([]agg, len(idx))
+	for id, i := range idx {
+		aggs[i] = agg{lane: Lane{JobID: id}, order: 1 << 30}
+	}
+	order := 0
+	r.each(func(e Event) {
+		a := &aggs[idx[e.JobID]]
 		switch e.Kind {
 		case Accepted:
 			a.order = order
@@ -143,18 +200,18 @@ func (r *Recorder) Lanes(deadlines map[int]int64) []Lane {
 			a.lane.End = e.Cycle
 			a.lane.Met = e.DeadlineMet
 		}
-	}
-	var out []Lane
-	var aggs []*agg
-	for _, a := range m {
+	})
+	done := aggs[:0]
+	for _, a := range aggs {
 		if a.seen && a.lane.End > 0 {
 			a.lane.Deadline = deadlines[a.lane.JobID]
-			aggs = append(aggs, a)
+			done = append(done, a)
 		}
 	}
-	sort.Slice(aggs, func(i, j int) bool { return aggs[i].order < aggs[j].order })
-	for _, a := range aggs {
-		out = append(out, a.lane)
+	sort.Slice(done, func(i, j int) bool { return done[i].order < done[j].order })
+	out := make([]Lane, len(done))
+	for i, a := range done {
+		out[i] = a.lane
 	}
 	return out
 }

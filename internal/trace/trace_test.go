@@ -105,3 +105,44 @@ func TestEventKindStrings(t *testing.T) {
 		t.Error("unknown kind should include the number")
 	}
 }
+
+// TestRecorderBlockGrowth drives the chunked storage across several
+// block boundaries (first block 256, doubling to the 16384 cap) and
+// checks every accessor still sees each event exactly once, in order.
+func TestRecorderBlockGrowth(t *testing.T) {
+	var r Recorder
+	const n = recorderFirstBlock + 2*recorderMaxBlock + 37 // > 4 blocks
+	for i := 0; i < n; i++ {
+		r.Record(Event{Cycle: int64(i), JobID: i % 7, Kind: Submitted})
+	}
+	events := r.Events()
+	if len(events) != n {
+		t.Fatalf("Events() = %d entries, want %d", len(events), n)
+	}
+	for i, e := range events {
+		if e.Cycle != int64(i) {
+			t.Fatalf("event %d has cycle %d; order lost across block boundary", i, e.Cycle)
+		}
+	}
+	if got := r.Count(Submitted); got != n {
+		t.Errorf("Count = %d, want %d", got, n)
+	}
+	byJob := r.ByJob(3)
+	want := 0
+	for i := 0; i < n; i++ {
+		if i%7 == 3 {
+			want++
+		}
+	}
+	if len(byJob) != want {
+		t.Errorf("ByJob(3) = %d events, want %d", len(byJob), want)
+	}
+	for i := 1; i < len(byJob); i++ {
+		if byJob[i].Cycle <= byJob[i-1].Cycle {
+			t.Fatalf("ByJob out of cycle order at %d", i)
+		}
+	}
+	if got := r.ByJob(99); got != nil {
+		t.Errorf("ByJob(unknown) = %d events, want nil", len(got))
+	}
+}

@@ -2,8 +2,6 @@ package workload
 
 import (
 	"fmt"
-	"math"
-	"math/rand"
 )
 
 // DeadlineClass is the tightness of a job's deadline relative to its
@@ -48,32 +46,26 @@ func (d DeadlineClass) String() string {
 // DeadlineMix produces the paper's pseudo-random 50/30/20
 // tight/moderate/relaxed assignment: every block of ten consecutive jobs
 // contains exactly 5 tight, 3 moderate, and 2 relaxed deadlines, in a
-// seeded shuffle.
+// seeded shuffle. It is a cursor over a process-wide memoized tape (see
+// tapes.go), so repeated runs with the same seed replay the identical
+// class sequence without re-seeding a generator.
 type DeadlineMix struct {
-	rng   *rand.Rand
-	block []DeadlineClass
-	pos   int
+	tape    *deadlineTape
+	classes []DeadlineClass // read-only snapshot of the tape
+	pos     int
 }
 
 // NewDeadlineMix builds a deterministic deadline assigner.
 func NewDeadlineMix(seed int64) *DeadlineMix {
-	return &DeadlineMix{rng: rand.New(rand.NewSource(seed))}
+	return &DeadlineMix{tape: tapes.deadline(seed)}
 }
 
 // Next returns the deadline class for the next job.
 func (m *DeadlineMix) Next() DeadlineClass {
-	if m.pos == len(m.block) {
-		m.block = []DeadlineClass{
-			DeadlineTight, DeadlineTight, DeadlineTight, DeadlineTight, DeadlineTight,
-			DeadlineModerate, DeadlineModerate, DeadlineModerate,
-			DeadlineRelaxed, DeadlineRelaxed,
-		}
-		m.rng.Shuffle(len(m.block), func(i, j int) {
-			m.block[i], m.block[j] = m.block[j], m.block[i]
-		})
-		m.pos = 0
+	if m.pos == len(m.classes) {
+		m.classes = m.tape.prefix(m.pos + tapeChunk)
 	}
-	c := m.block[m.pos]
+	c := m.classes[m.pos]
 	m.pos++
 	return c
 }
@@ -81,10 +73,12 @@ func (m *DeadlineMix) Next() DeadlineClass {
 // Arrivals generates Poisson job arrivals at the paper's load: in one
 // job wall-clock time tw, on average ProbesPerTw jobs arrive and probe
 // the CMP's admission controller (paper §6: 4 cores × 128 CMPs = 512).
+// Like DeadlineMix it is a cursor over a memoized tape keyed by
+// (seed, rate).
 type Arrivals struct {
-	rng  *rand.Rand
-	rate float64 // arrivals per cycle
-	now  float64 // cycle position of the last arrival
+	tape  *arrivalTape
+	times []int64 // read-only snapshot of the tape
+	pos   int
 }
 
 // DefaultProbesPerTw is the paper's arrival pressure: 4×128 probes per
@@ -97,17 +91,16 @@ func NewArrivals(seed int64, probesPerTw float64, twCycles int64) *Arrivals {
 	if probesPerTw <= 0 || twCycles <= 0 {
 		panic("workload: arrivals need positive rate and window")
 	}
-	return &Arrivals{
-		rng:  rand.New(rand.NewSource(seed)),
-		rate: probesPerTw / float64(twCycles),
-	}
+	return &Arrivals{tape: tapes.arrival(seed, probesPerTw/float64(twCycles))}
 }
 
 // Next returns the cycle timestamp of the next arrival; timestamps are
 // strictly non-decreasing.
 func (a *Arrivals) Next() int64 {
-	// Exponential inter-arrival with mean 1/rate cycles.
-	gap := -math.Log(1-a.rng.Float64()) / a.rate
-	a.now += gap
-	return int64(a.now)
+	if a.pos == len(a.times) {
+		a.times = a.tape.prefix(a.pos + tapeChunk)
+	}
+	v := a.times[a.pos]
+	a.pos++
+	return v
 }

@@ -1,0 +1,61 @@
+package workload
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestTapeCursorsShareOneStream: independent cursors over the same
+// (seed, rate) replay the identical timestamp sequence — the memoized
+// tape is indistinguishable from the per-generator streams it replaced.
+func TestTapeCursorsShareOneStream(t *testing.T) {
+	a := NewArrivals(42, DefaultProbesPerTw, 1_000_000)
+	b := NewArrivals(42, DefaultProbesPerTw, 1_000_000)
+	for i := 0; i < 3*tapeChunk; i++ {
+		va, vb := a.Next(), b.Next()
+		if va != vb {
+			t.Fatalf("draw %d: cursors over one tape diverge (%d vs %d)", i, va, vb)
+		}
+	}
+	// A different seed or rate is a different tape.
+	c := NewArrivals(43, DefaultProbesPerTw, 1_000_000)
+	d := NewArrivals(42, DefaultProbesPerTw, 2_000_000)
+	if c.Next() == NewArrivals(42, DefaultProbesPerTw, 1_000_000).Next() &&
+		d.Next() == NewArrivals(42, DefaultProbesPerTw, 1_000_000).Next() {
+		t.Error("distinct seeds/rates reuse one tape")
+	}
+
+	ma, mb := NewDeadlineMix(7), NewDeadlineMix(7)
+	for i := 0; i < 3*tapeChunk; i++ {
+		if ma.Next() != mb.Next() {
+			t.Fatalf("deadline draw %d diverges between cursors", i)
+		}
+	}
+}
+
+// TestTapeConcurrentCursors: many goroutines extending and reading one
+// tape concurrently each observe the same prefix (exercised under
+// -race by the CI race job).
+func TestTapeConcurrentCursors(t *testing.T) {
+	const draws = 5 * tapeChunk
+	want := make([]int64, draws)
+	ref := NewArrivals(1234, DefaultProbesPerTw, 1_000_000)
+	for i := range want {
+		want[i] = ref.Next()
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cur := NewArrivals(1234, DefaultProbesPerTw, 1_000_000)
+			for i := 0; i < draws; i++ {
+				if v := cur.Next(); v != want[i] {
+					t.Errorf("draw %d: got %d, want %d", i, v, want[i])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
