@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench clean
+.PHONY: all build vet test race fuzz bench clean
 
 all: build vet test
 
@@ -14,13 +14,20 @@ vet:
 	$(GO) vet ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -timeout 10m ./...
 
 # race runs the full suite under the race detector. The experiment
 # fan-out (internal/parallel) is the main subject: every multi-run
 # experiment must stay data-race-free at any worker count.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 20m ./...
+
+# fuzz runs a short smoke of each fuzz target (one package per -fuzz
+# invocation, as the go tool requires): the job-file and fault-plan
+# parsers must never crash on arbitrary input.
+fuzz:
+	$(GO) test -fuzz=Fuzz -fuzztime=10s -timeout 5m ./internal/jobfile
+	$(GO) test -fuzz=Fuzz -fuzztime=10s -timeout 5m ./internal/fault
 
 # bench runs the hot-path benchmark suite with allocation stats and
 # records the results in BENCH_<date>.json (see scripts/bench.sh).

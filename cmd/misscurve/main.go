@@ -26,8 +26,11 @@ import (
 	"os"
 
 	"cmpqos/internal/cache"
+	"cmpqos/internal/cli"
 	"cmpqos/internal/workload"
 )
+
+const prog = "misscurve"
 
 func main() {
 	var (
@@ -46,12 +49,10 @@ func main() {
 	switch *profiler {
 	case "single-pass", "replay":
 	default:
-		fmt.Fprintf(os.Stderr, "misscurve: unknown -profiler %q (want single-pass or replay)\n", *profiler)
-		os.Exit(2)
+		cli.Usage(prog, "unknown -profiler %q (want single-pass or replay)", *profiler)
 	}
 	if *profiler == "replay" && *every != 1 {
-		fmt.Fprintln(os.Stderr, "misscurve: -sample-every needs -profiler single-pass")
-		os.Exit(2)
+		cli.Usage(prog, "-sample-every needs -profiler single-pass")
 	}
 
 	cfg := cache.Config{SizeBytes: 2 << 20, Ways: 16, BlockSize: 64, Owners: 1, HitCycles: 10}
@@ -67,14 +68,12 @@ func main() {
 	if *replay != "" {
 		f, err := os.Open(*replay)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "misscurve:", err)
-			os.Exit(1)
+			cli.Fail(prog, err)
 		}
 		addrs, err := workload.ReadTrace(f)
 		f.Close()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "misscurve:", err)
-			os.Exit(1)
+			cli.Fail(prog, err)
 		}
 		curve := probe(func() cache.AddrStream {
 			return workload.NewReplay(addrs)
@@ -92,23 +91,19 @@ func main() {
 	}
 	if *dump != "" {
 		if *bench == "" {
-			fmt.Fprintln(os.Stderr, "misscurve: -dump needs -bench")
-			os.Exit(2)
+			cli.Usage(prog, "-dump needs -bench")
 		}
 		p, ok := workload.ByName(*bench)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "misscurve: unknown benchmark %q\n", *bench)
-			os.Exit(2)
+			cli.Usage(prog, "unknown benchmark %q", *bench)
 		}
 		f, err := os.Create(*dump)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "misscurve:", err)
-			os.Exit(1)
+			cli.Fail(prog, err)
 		}
 		defer f.Close()
 		if err := workload.WriteTrace(f, p.NewStream(42, 0), *dumpN); err != nil {
-			fmt.Fprintln(os.Stderr, "misscurve:", err)
-			os.Exit(1)
+			cli.Fail(prog, err)
 		}
 		fmt.Printf("recorded %d accesses of %s to %s\n", *dumpN, *bench, *dump)
 		return
@@ -120,8 +115,7 @@ func main() {
 	} else {
 		p, ok := workload.ByName(*bench)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "misscurve: unknown benchmark %q\n", *bench)
-			os.Exit(2)
+			cli.Usage(prog, "unknown benchmark %q", *bench)
 		}
 		profiles = []workload.Profile{p}
 	}

@@ -21,12 +21,17 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
+	"cmpqos/internal/cli"
+	"cmpqos/internal/fault"
 	"cmpqos/internal/jobfile"
 	"cmpqos/internal/qos"
 	"cmpqos/internal/sim"
 	"cmpqos/internal/workload"
 )
+
+const prog = "qosctl"
 
 func main() {
 	var (
@@ -37,31 +42,35 @@ func main() {
 		seeds     = flag.Int("seeds", 1, "with -simulate: run this many seeds of the job file")
 		parallel  = flag.Int("parallel", 1, "with -simulate: worker bound for the seed runs (0 = one per CPU)")
 		runCache  = flag.Bool("runcache", true, "with -simulate: memoize repeated simulation configs")
+		faults    = flag.String("faults", "", "with -simulate: fault plan file, or a fault rate (events per gigacycle) to generate one; merged with the job file's fault directives")
+		faultSeed = flag.Int64("fault-seed", 1, "seed for a generated -faults rate plan")
+		timeout   = flag.Duration("timeout", 0, "abort the run after this long (e.g. 30s; 0 = no limit)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: qosctl [-negotiate] [-clock 2GHz] <jobfile>")
-		os.Exit(2)
+		os.Exit(cli.ExitUsage)
 	}
 	hz, err := parseClock(*clock)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "qosctl:", err)
-		os.Exit(2)
+		cli.Usage(prog, "%v", err)
 	}
 	f, err := os.Open(flag.Arg(0))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "qosctl:", err)
-		os.Exit(1)
+		cli.Fail(prog, err)
 	}
 	defer f.Close()
 	spec, err := jobfile.Parse(f)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "qosctl:", err)
-		os.Exit(1)
+		cli.Fail(prog, err)
 	}
 
 	if *simulate {
-		runSimulation(spec, *instr, *seeds, *parallel, *runCache)
+		plan, err := cli.ParseFaultPlan(*faults, *faultSeed, spec.NodeCapacity.Cores, spec.NodeCapacity.CacheWays)
+		if err != nil {
+			cli.Fail(prog, err)
+		}
+		runSimulation(spec, *instr, *seeds, *parallel, *runCache, plan, *timeout)
 		return
 	}
 
@@ -122,7 +131,7 @@ func main() {
 		}
 	}
 	if rejected > 0 {
-		os.Exit(3)
+		os.Exit(cli.ExitRejected)
 	}
 }
 
@@ -152,7 +161,7 @@ func parseClock(s string) (float64, error) {
 // same script runs once per seed — the runs are independent and fan out
 // across the worker bound (0 = one per CPU), the qosctl face of the
 // qossim -parallel flag.
-func runSimulation(spec *jobfile.Spec, instr int64, seeds, workers int, useCache bool) {
+func runSimulation(spec *jobfile.Spec, instr int64, seeds, workers int, useCache bool, plan fault.Plan, timeout time.Duration) {
 	if seeds < 1 {
 		seeds = 1
 	}
@@ -168,6 +177,7 @@ func runSimulation(spec *jobfile.Spec, instr int64, seeds, workers int, useCache
 			cfg.StealIntervalInstr = 1
 		}
 		cfg.Script = spec.Script(cfg.CPU.ClockHz)
+		cfg.Faults = plan.Merge(spec.FaultPlan(cfg.CPU.ClockHz))
 		if spec.NodeCapacity.Cores > 0 && spec.NodeCapacity.Cores <= cfg.L2.Owners {
 			cfg.Cores = spec.NodeCapacity.Cores
 		}
@@ -178,10 +188,11 @@ func runSimulation(spec *jobfile.Spec, instr int64, seeds, workers int, useCache
 	if !useCache {
 		cache = nil
 	}
-	reps, err := sim.RunAllCached(workers, cache, cfgs)
+	ctx, cancel := cli.Context(timeout)
+	defer cancel()
+	reps, err := sim.RunAllCached(ctx, workers, cache, cfgs)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "qosctl:", err)
-		os.Exit(1)
+		cli.Fail(prog, err)
 	}
 	for i, rep := range reps {
 		if seeds > 1 {

@@ -22,24 +22,30 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"cmpqos/internal/cli"
 	"cmpqos/internal/experiments"
 	"cmpqos/internal/sim"
 )
 
+const prog = "qossim"
+
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiment to run (see -list), or 'all'")
-		engine   = flag.String("engine", "table", "execution engine: table or trace")
-		instr    = flag.Int64("instr", 0, "instructions per job (0 = engine default)")
-		seed     = flag.Int64("seed", 0, "random seed (0 = default)")
-		parallel = flag.Int("parallel", 1, "worker bound for independent simulation runs (0 = one per CPU)")
-		list     = flag.Bool("list", false, "list available experiments")
-		asCSV    = flag.Bool("csv", false, "emit machine-readable CSV instead of text tables")
-		html     = flag.String("html", "", "write a single-file HTML report of ALL experiments to this path")
-		runCache = flag.Bool("runcache", true, "memoize repeated simulation configs across experiments")
-		planCach = flag.Bool("plancache", true, "reuse the epoch plan between QoS events inside the sim engine")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this path")
-		memProf  = flag.String("memprofile", "", "write a heap profile (taken at exit) to this path")
+		exp       = flag.String("exp", "", "experiment to run (see -list), or 'all'")
+		engine    = flag.String("engine", "table", "execution engine: table or trace")
+		instr     = flag.Int64("instr", 0, "instructions per job (0 = engine default)")
+		seed      = flag.Int64("seed", 0, "random seed (0 = default)")
+		parallel  = flag.Int("parallel", 1, "worker bound for independent simulation runs (0 = one per CPU)")
+		list      = flag.Bool("list", false, "list available experiments")
+		asCSV     = flag.Bool("csv", false, "emit machine-readable CSV instead of text tables")
+		html      = flag.String("html", "", "write a single-file HTML report of ALL experiments to this path")
+		runCache  = flag.Bool("runcache", true, "memoize repeated simulation configs across experiments")
+		planCach  = flag.Bool("plancache", true, "reuse the epoch plan between QoS events inside the sim engine")
+		faultRate = flag.Float64("faults", 0, "fault rate in events per gigacycle for the faults experiment (0 = its default sweep)")
+		faultSeed = flag.Int64("fault-seed", 0, "fault plan generator seed for the faults experiment (0 = default)")
+		timeout   = flag.Duration("timeout", 0, "abort the run after this long (e.g. 2m; 0 = no limit)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this path")
+		memProf   = flag.String("memprofile", "", "write a heap profile (taken at exit) to this path")
 	)
 	flag.Parse()
 
@@ -49,17 +55,22 @@ func main() {
 			fmt.Printf("  %-20s %s\n", r.Name, r.Paper)
 		}
 		if *exp == "" && *html == "" {
-			os.Exit(2)
+			os.Exit(cli.ExitUsage)
 		}
 		return
 	}
 
+	ctx, cancel := cli.Context(*timeout)
+	defer cancel()
 	opts := experiments.Options{
+		Context:          ctx,
 		JobInstr:         *instr,
 		Seed:             *seed,
 		Workers:          *parallel,
 		DisableRunCache:  !*runCache,
 		DisablePlanCache: !*planCach,
+		FaultRate:        *faultRate,
+		FaultSeed:        *faultSeed,
 	}
 	if *parallel == 0 {
 		opts.Workers = -1 // flag value 0 means "all CPUs"
@@ -68,21 +79,18 @@ func main() {
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "qossim:", err)
-			os.Exit(1)
+			cli.Fail(prog, err)
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "qossim:", err)
-			os.Exit(1)
+			cli.Fail(prog, err)
 		}
 		defer pprof.StopCPUProfile()
 	}
 	if *memProf != "" {
 		f, err := os.Create(*memProf)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "qossim:", err)
-			os.Exit(1)
+			cli.Fail(prog, err)
 		}
 		defer func() {
 			runtime.GC() // settle the heap so the profile shows live objects
@@ -98,20 +106,17 @@ func main() {
 	case "trace":
 		opts.Engine = sim.EngineTrace
 	default:
-		fmt.Fprintf(os.Stderr, "qossim: unknown engine %q (table|trace)\n", *engine)
-		os.Exit(2)
+		cli.Usage(prog, "unknown engine %q (table|trace)", *engine)
 	}
 
 	if *html != "" {
 		f, err := os.Create(*html)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "qossim:", err)
-			os.Exit(1)
+			cli.Fail(prog, err)
 		}
 		defer f.Close()
 		if err := experiments.WriteHTML(f, opts); err != nil {
-			fmt.Fprintln(os.Stderr, "qossim:", err)
-			os.Exit(1)
+			cli.Fail(prog, err)
 		}
 		fmt.Printf("wrote %s\n", *html)
 		return
@@ -119,17 +124,14 @@ func main() {
 
 	if *asCSV {
 		if *exp == "all" {
-			fmt.Fprintln(os.Stderr, "qossim: -csv needs a single experiment name")
-			os.Exit(2)
+			cli.Usage(prog, "-csv needs a single experiment name")
 		}
 		tab, err := experiments.CSVResult(*exp, opts)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "qossim:", err)
-			os.Exit(1)
+			cli.Fail(prog, err)
 		}
 		if err := experiments.WriteCSV(os.Stdout, tab); err != nil {
-			fmt.Fprintln(os.Stderr, "qossim:", err)
-			os.Exit(1)
+			cli.Fail(prog, err)
 		}
 		return
 	}
@@ -140,8 +142,7 @@ func main() {
 	} else {
 		r, ok := experiments.Lookup(*exp)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "qossim: unknown experiment %q; try -list\n", *exp)
-			os.Exit(2)
+			cli.Usage(prog, "unknown experiment %q; try -list", *exp)
 		}
 		runners = []experiments.Runner{r}
 	}
@@ -151,8 +152,7 @@ func main() {
 		}
 		start := time.Now()
 		if err := r.Run(opts, os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "qossim: %s: %v\n", r.Name, err)
-			os.Exit(1)
+			cli.Fail(prog, fmt.Errorf("%s: %w", r.Name, err))
 		}
 		fmt.Printf("[%s completed in %v]\n", r.Name, time.Since(start).Round(time.Millisecond))
 	}

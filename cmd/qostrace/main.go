@@ -13,52 +13,59 @@ import (
 	"os"
 	"strings"
 
+	"cmpqos/internal/cli"
 	"cmpqos/internal/sim"
 	"cmpqos/internal/workload"
 )
 
+const prog = "qostrace"
+
 func main() {
 	var (
-		policy = flag.String("policy", "allstrict", "allstrict|hybrid1|hybrid2|autodown|equalpart")
-		wl     = flag.String("workload", "bzip2", "benchmark name, mix1, or mix2")
-		width  = flag.Int("width", 80, "gantt width in columns")
-		instr  = flag.Int64("instr", 20_000_000, "instructions per job")
-		seed   = flag.Int64("seed", 1, "random seed")
-		events = flag.Bool("events", false, "also dump the raw event log")
-		series = flag.Bool("series", false, "also print per-epoch telemetry")
-		asJSON = flag.Bool("json", false, "emit the full report as JSON instead of text")
+		policy    = flag.String("policy", "allstrict", "allstrict|hybrid1|hybrid2|autodown|equalpart")
+		wl        = flag.String("workload", "bzip2", "benchmark name, mix1, or mix2")
+		width     = flag.Int("width", 80, "gantt width in columns")
+		instr     = flag.Int64("instr", 20_000_000, "instructions per job")
+		seed      = flag.Int64("seed", 1, "random seed")
+		events    = flag.Bool("events", false, "also dump the raw event log")
+		series    = flag.Bool("series", false, "also print per-epoch telemetry")
+		asJSON    = flag.Bool("json", false, "emit the full report as JSON instead of text")
+		faults    = flag.String("faults", "", "fault plan file, or a fault rate (events per gigacycle) to generate one")
+		faultSeed = flag.Int64("fault-seed", 1, "seed for a generated -faults rate plan")
+		timeout   = flag.Duration("timeout", 0, "abort the run after this long (e.g. 30s; 0 = no limit)")
 	)
 	flag.Parse()
 
 	pol, ok := parsePolicy(*policy)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "qostrace: unknown policy %q\n", *policy)
-		os.Exit(2)
+		cli.Usage(prog, "unknown policy %q", *policy)
 	}
 	comp, err := parseWorkload(*wl)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "qostrace:", err)
-		os.Exit(2)
+		cli.Usage(prog, "%v", err)
 	}
 	cfg := sim.DefaultConfig(pol, comp)
 	cfg.JobInstr = *instr
 	cfg.StealIntervalInstr = *instr / 100
 	cfg.Seed = *seed
 	cfg.RecordSeries = *series
+	cfg.Faults, err = cli.ParseFaultPlan(*faults, *faultSeed, cfg.Cores, cfg.L2.Ways)
+	if err != nil {
+		cli.Fail(prog, err)
+	}
 	r, err := sim.New(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "qostrace:", err)
-		os.Exit(1)
+		cli.Fail(prog, err)
 	}
-	rep, err := r.Run()
+	ctx, cancel := cli.Context(*timeout)
+	defer cancel()
+	rep, err := r.RunContext(ctx)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "qostrace:", err)
-		os.Exit(1)
+		cli.Fail(prog, err)
 	}
 	if *asJSON {
 		if err := rep.WriteJSON(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "qostrace:", err)
-			os.Exit(1)
+			cli.Fail(prog, err)
 		}
 		return
 	}

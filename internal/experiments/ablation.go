@@ -21,7 +21,7 @@ func mapMeasure(o Options, n int, fn func(i int) float64) []float64 {
 	if workers == 0 {
 		workers = 1 // same default as sim.RunAll: serial unless asked
 	}
-	vals, err := parallel.Map(parallel.New(workers), n, func(i int) (float64, error) {
+	vals, err := parallel.Map(o.ctx(), parallel.New(workers), n, func(i int) (float64, error) {
 		return fn(i), nil
 	})
 	if err != nil {

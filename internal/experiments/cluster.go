@@ -39,7 +39,7 @@ func Cluster(o Options) (*ClusterResult, error) {
 	if workers == 0 {
 		workers = 1
 	}
-	rows, err := parallel.Map(parallel.New(workers), len(sweep), func(i int) (ClusterRow, error) {
+	rows, err := parallel.Map(o.ctx(), parallel.New(workers), len(sweep), func(i int) (ClusterRow, error) {
 		nodes := sweep[i]
 		cfg := sim.ClusterConfig{
 			Nodes:        nodes,

@@ -178,6 +178,8 @@ func CSVResult(name string, o Options) (Tabular, error) {
 		return Engines(o)
 	case "seeds":
 		return Seeds(o)
+	case "faults":
+		return Faults(o)
 	case "geometry":
 		return Geometry(o)
 	}

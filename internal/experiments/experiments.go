@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -16,6 +17,9 @@ import (
 
 // Options configures an experiment run.
 type Options struct {
+	// Context cancels in-flight simulations when it fires (nil =
+	// background, never cancels). The CLIs wire their -timeout flag here.
+	Context context.Context
 	// Engine selects table (default) or trace execution.
 	Engine sim.Engine
 	// JobInstr overrides instructions per job (0 = the engine default:
@@ -44,6 +48,19 @@ type Options struct {
 	// sim.Config.DisablePlanCache); used by the byte-identity tests and
 	// benchmarks.
 	DisablePlanCache bool
+	// FaultRate and FaultSeed parameterize the faults experiment: events
+	// per gigacycle and the plan generator seed. Zero rate means the
+	// experiment sweeps its default rate grid.
+	FaultRate float64
+	FaultSeed int64
+}
+
+// ctx resolves the options' context, defaulting to background.
+func (o Options) ctx() context.Context {
+	if o.Context == nil {
+		return context.Background()
+	}
+	return o.Context
 }
 
 // cache resolves the run cache these options select: nil (uncached) when
@@ -84,14 +101,14 @@ func (o Options) config(p sim.Policy, w workload.Composition) sim.Config {
 
 // run executes one configuration through the options' run cache.
 func (o Options) run(cfg sim.Config) (*sim.Report, error) {
-	return o.cache().Run(cfg)
+	return o.cache().RunContext(o.ctx(), cfg)
 }
 
 // runAll executes a grid of configurations under the option's worker
 // bound and returns the reports in input order, resolving each
 // configuration through the options' run cache.
 func (o Options) runAll(cfgs []sim.Config) ([]*sim.Report, error) {
-	return sim.RunAllCached(o.Workers, o.cache(), cfgs)
+	return sim.RunAllCached(o.ctx(), o.Workers, o.cache(), cfgs)
 }
 
 // Runner is a named experiment entry point for the CLI.
@@ -210,6 +227,14 @@ func Registry() []Runner {
 		}},
 		{"geometry", "Extension: L2 geometry sensitivity sweep", func(o Options, w io.Writer) error {
 			r, err := Geometry(o)
+			if err != nil {
+				return err
+			}
+			r.Render(w)
+			return nil
+		}},
+		{"faults", "Robustness: QoS degradation under injected resource faults", func(o Options, w io.Writer) error {
+			r, err := Faults(o)
 			if err != nil {
 				return err
 			}

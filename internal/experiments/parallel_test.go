@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"cmpqos/internal/sim"
@@ -66,14 +67,14 @@ func TestCurveStoreSingleflightAcrossWorkers(t *testing.T) {
 		}
 		return cfgs
 	}
-	par, err := sim.RunAll(8, mkCfgs())
+	par, err := sim.RunAll(context.Background(), 8, mkCfgs())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got := workload.DefaultCurveStore.Computes(); got != 1 {
 		t.Errorf("8 concurrent identical runs computed %d curves, want 1 (singleflight)", got)
 	}
-	serial, err := sim.RunAll(1, mkCfgs())
+	serial, err := sim.RunAll(context.Background(), 1, mkCfgs())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,309 @@
+// Package fault describes deterministic fault-injection plans for the
+// simulated CMP: timed core failures and recoveries, cache-way faults
+// (ways disabled and later restored), and transient memory-latency
+// spikes. A Plan is pure data — the simulator interprets it — so plans
+// compose, serialize into job files and configs, and reproduce
+// bit-for-bit from a seed. The package deliberately depends on nothing
+// but the standard library: both the simulator and the jobfile parser
+// import it.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the injectable fault classes.
+type Kind uint8
+
+const (
+	// CoreFail takes one core offline at At; it comes back after
+	// Duration cycles (0 = never).
+	CoreFail Kind = iota
+	// WayFault disables Ways cache ways at At; they are restored after
+	// Duration cycles (0 = never).
+	WayFault
+	// LatencySpike multiplies the memory miss penalty by Factor over
+	// [At, At+Duration) (Duration 0 = for the rest of the run).
+	LatencySpike
+	numKinds
+)
+
+// String names the kind in the plan's text form.
+func (k Kind) String() string {
+	switch k {
+	case CoreFail:
+		return "core-fail"
+	case WayFault:
+		return "way-fault"
+	case LatencySpike:
+		return "latency-spike"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// parseKind resolves a kind name.
+func parseKind(s string) (Kind, bool) {
+	for k := Kind(0); k < numKinds; k++ {
+		if k.String() == s {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// Event is one scheduled fault. Only the fields its kind uses may be
+// set (Validate enforces this), so every event has exactly one
+// canonical representation.
+type Event struct {
+	Kind Kind
+	// At is the injection cycle.
+	At int64
+	// Duration is how long the fault lasts; 0 means it never recovers.
+	Duration int64
+	// Core is the failed core index (CoreFail only).
+	Core int
+	// Ways is how many cache ways go dark (WayFault only).
+	Ways int
+	// Factor multiplies the memory miss penalty (LatencySpike only).
+	Factor float64
+}
+
+// End returns the recovery cycle, or math.MaxInt64 for permanent
+// faults.
+func (e Event) End() int64 {
+	if e.Duration == 0 {
+		return math.MaxInt64
+	}
+	return e.At + e.Duration
+}
+
+// overlaps reports whether the event's active window intersects
+// [e2.At, e2.End()).
+func (e Event) overlaps(e2 Event) bool {
+	return e.At < e2.End() && e2.At < e.End()
+}
+
+// Plan is a composable set of fault events. The zero value injects
+// nothing. Plan is a plain value (a slice of plain structs), so it can
+// live inside sim.Config and participate in its %#v cache key.
+type Plan struct {
+	Events []Event
+}
+
+// Empty reports whether the plan injects anything.
+func (p Plan) Empty() bool { return len(p.Events) == 0 }
+
+// Merge returns the union of two plans.
+func (p Plan) Merge(q Plan) Plan {
+	if q.Empty() {
+		return p
+	}
+	ev := make([]Event, 0, len(p.Events)+len(q.Events))
+	ev = append(ev, p.Events...)
+	ev = append(ev, q.Events...)
+	return Plan{Events: ev}
+}
+
+// Normalized returns a copy with events in canonical application order:
+// by injection time, then kind, then the kind-specific fields. The
+// simulator consumes the normalized order, so two plans listing the
+// same events differently behave identically.
+func (p Plan) Normalized() Plan {
+	ev := make([]Event, len(p.Events))
+	copy(ev, p.Events)
+	sort.SliceStable(ev, func(i, j int) bool {
+		a, b := ev[i], ev[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Core != b.Core {
+			return a.Core < b.Core
+		}
+		if a.Ways != b.Ways {
+			return a.Ways < b.Ways
+		}
+		if a.Factor != b.Factor {
+			return a.Factor < b.Factor
+		}
+		return a.Duration < b.Duration
+	})
+	return Plan{Events: ev}
+}
+
+// Validate checks every event against a machine with the given core and
+// way counts, and rejects plans that could take the whole machine down:
+// at any instant at least one core must remain up, at least one cache
+// way must remain usable, and no core may fail twice concurrently
+// (recovery would be ambiguous).
+func (p Plan) Validate(cores, ways int) error {
+	for i, e := range p.Events {
+		if e.At < 0 || e.Duration < 0 {
+			return fmt.Errorf("fault: event %d: negative timing", i)
+		}
+		switch e.Kind {
+		case CoreFail:
+			if e.Core < 0 || e.Core >= cores {
+				return fmt.Errorf("fault: event %d: core %d out of range [0,%d)", i, e.Core, cores)
+			}
+			if e.Ways != 0 || e.Factor != 0 {
+				return fmt.Errorf("fault: event %d: core-fail with way/factor fields set", i)
+			}
+		case WayFault:
+			if e.Ways < 1 || e.Ways >= ways {
+				return fmt.Errorf("fault: event %d: %d faulted ways out of range [1,%d)", i, e.Ways, ways)
+			}
+			if e.Core != 0 || e.Factor != 0 {
+				return fmt.Errorf("fault: event %d: way-fault with core/factor fields set", i)
+			}
+		case LatencySpike:
+			if e.Factor <= 1 || e.Factor > 100 {
+				return fmt.Errorf("fault: event %d: latency factor %v out of (1,100]", i, e.Factor)
+			}
+			if e.Core != 0 || e.Ways != 0 {
+				return fmt.Errorf("fault: event %d: latency-spike with core/way fields set", i)
+			}
+		default:
+			return fmt.Errorf("fault: event %d: unknown kind %d", i, int(e.Kind))
+		}
+	}
+	// Concurrency sweeps: the worst case at any instant is bounded by
+	// the overlap structure of the intervals, so a pairwise check per
+	// event suffices (plans are tens of events, not millions).
+	for i, e := range p.Events {
+		switch e.Kind {
+		case CoreFail:
+			down := 1
+			for j, o := range p.Events {
+				if j == i || o.Kind != CoreFail || !e.overlaps(o) {
+					continue
+				}
+				if o.Core == e.Core && j > i {
+					return fmt.Errorf("fault: events %d and %d fail core %d concurrently", i, j, e.Core)
+				}
+				if o.Core != e.Core {
+					down++
+				}
+			}
+			if down >= cores {
+				return fmt.Errorf("fault: event %d: all %d cores down concurrently", i, cores)
+			}
+		case WayFault:
+			dark := e.Ways
+			for j, o := range p.Events {
+				if j != i && o.Kind == WayFault && e.overlaps(o) {
+					dark += o.Ways
+				}
+			}
+			if dark >= ways {
+				return fmt.Errorf("fault: event %d: all %d ways dark concurrently", i, ways)
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the plan in its line-oriented text form, one event per
+// line; ParsePlan reads it back exactly.
+func (p Plan) String() string {
+	var b strings.Builder
+	for _, e := range p.Events {
+		fmt.Fprintf(&b, "%s at=%d for=%d", e.Kind, e.At, e.Duration)
+		switch e.Kind {
+		case CoreFail:
+			fmt.Fprintf(&b, " core=%d", e.Core)
+		case WayFault:
+			fmt.Fprintf(&b, " ways=%d", e.Ways)
+		case LatencySpike:
+			fmt.Fprintf(&b, " factor=%s", strconv.FormatFloat(e.Factor, 'g', -1, 64))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ParsePlan reads the text form produced by String: one event per line,
+// `<kind> at=<cycle> [for=<cycles>] [core=|ways=|factor=...]`. Blank
+// lines and #-comments are skipped. Timing is in cycles; callers with
+// wall-clock inputs convert before building the line.
+func ParsePlan(s string) (Plan, error) {
+	var p Plan
+	for lineNo, line := range strings.Split(s, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		e, err := ParseEvent(fields[0], fields[1:])
+		if err != nil {
+			return Plan{}, fmt.Errorf("fault: line %d: %w", lineNo+1, err)
+		}
+		p.Events = append(p.Events, e)
+	}
+	return p, nil
+}
+
+// ParseEvent builds one event from a kind name and key=value fields —
+// the shared decoder behind ParsePlan and the jobfile `fault`
+// directive.
+func ParseEvent(kindName string, kvs []string) (Event, error) {
+	k, ok := parseKind(kindName)
+	if !ok {
+		return Event{}, fmt.Errorf("unknown fault kind %q", kindName)
+	}
+	e := Event{Kind: k}
+	seenAt := false
+	for _, f := range kvs {
+		i := strings.IndexByte(f, '=')
+		if i <= 0 {
+			return Event{}, fmt.Errorf("malformed field %q (want key=value)", f)
+		}
+		key, val := f[:i], f[i+1:]
+		var err error
+		switch key {
+		case "at":
+			e.At, err = strconv.ParseInt(val, 10, 64)
+			seenAt = true
+		case "for":
+			e.Duration, err = strconv.ParseInt(val, 10, 64)
+		case "core":
+			if k != CoreFail {
+				return Event{}, fmt.Errorf("core= is only valid for core-fail")
+			}
+			e.Core, err = strconv.Atoi(val)
+		case "ways":
+			if k != WayFault {
+				return Event{}, fmt.Errorf("ways= is only valid for way-fault")
+			}
+			e.Ways, err = strconv.Atoi(val)
+		case "factor":
+			if k != LatencySpike {
+				return Event{}, fmt.Errorf("factor= is only valid for latency-spike")
+			}
+			e.Factor, err = strconv.ParseFloat(val, 64)
+		default:
+			return Event{}, fmt.Errorf("unknown fault key %q", key)
+		}
+		if err != nil {
+			return Event{}, fmt.Errorf("bad %s value %q", key, val)
+		}
+	}
+	if !seenAt {
+		return Event{}, fmt.Errorf("fault event needs at=<cycle>")
+	}
+	switch {
+	case e.At < 0 || e.Duration < 0:
+		return Event{}, fmt.Errorf("negative fault timing")
+	case k == WayFault && e.Ways < 1:
+		return Event{}, fmt.Errorf("way-fault needs ways>=1")
+	case k == LatencySpike && !(e.Factor > 1):
+		return Event{}, fmt.Errorf("latency-spike needs factor>1")
+	}
+	return e, nil
+}

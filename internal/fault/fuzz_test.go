@@ -1,0 +1,47 @@
+package fault
+
+import "testing"
+
+// FuzzParsePlan checks that arbitrary input never panics the plan
+// parser, and that every accepted plan survives its own text round
+// trip: String() then ParsePlan() must reproduce the events exactly.
+func FuzzParsePlan(f *testing.F) {
+	f.Add("core-fail at=1000 for=500 core=2\n")
+	f.Add("way-fault at=2000 for=0 ways=3\nlatency-spike at=3000 for=1 factor=2.5\n")
+	f.Add("# comment\n\ncore-fail at=0 core=0")
+	f.Add(Generate(1, 4, DefaultHorizon, 4, 16).String())
+	f.Add("latency-spike at=9223372036854775807 factor=1.0000000001\n")
+	f.Add("way-fault at=1 ways=99999999\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		p, err := ParsePlan(input)
+		if err != nil {
+			return
+		}
+		for i, e := range p.Events {
+			if e.At < 0 || e.Duration < 0 {
+				t.Fatalf("accepted negative timing at event %d: %+v", i, e)
+			}
+			if e.Kind == WayFault && e.Ways < 1 {
+				t.Fatalf("accepted way-fault without ways: %+v", e)
+			}
+			if e.Kind == LatencySpike && !(e.Factor > 1) {
+				t.Fatalf("accepted latency-spike with factor %v", e.Factor)
+			}
+		}
+		back, err := ParsePlan(p.String())
+		if err != nil {
+			t.Fatalf("re-parsing String() failed: %v\n%s", err, p.String())
+		}
+		if len(back.Events) != len(p.Events) {
+			t.Fatalf("round trip changed event count %d -> %d", len(p.Events), len(back.Events))
+		}
+		for i := range p.Events {
+			if back.Events[i] != p.Events[i] {
+				t.Fatalf("round trip changed event %d: %+v -> %+v", i, p.Events[i], back.Events[i])
+			}
+		}
+		// Normalization and validation must not panic on parsed plans.
+		_ = p.Normalized()
+		_ = p.Validate(4, 16)
+	})
+}

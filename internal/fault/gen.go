@@ -1,0 +1,117 @@
+package fault
+
+import "math"
+
+// rng is a splitmix64 generator: tiny, seedable, and independent of
+// math/rand so generated plans can never drift with the standard
+// library. The same (seed, rate, horizon, machine) tuple yields the
+// same plan on every platform and at any worker count.
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform draw in [0, 1).
+func (r *rng) float64() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}
+
+// intn returns a uniform draw in [0, n).
+func (r *rng) intn(n int) int {
+	return int(r.next() % uint64(n))
+}
+
+// DefaultHorizon is the fault-generation window used when the caller
+// has no better estimate of the run length: 4 Gcycles covers the
+// paper-scale table runs (ten 200 M-instruction jobs) with margin.
+// Events past the actual run end simply never fire.
+const DefaultHorizon = int64(4_000_000_000)
+
+// Generate builds a random but reproducible plan: fault arrivals are a
+// Poisson process with `rate` events per gigacycle over [0, horizon),
+// split across the three kinds, with durations scaled to the horizon.
+// Pass ways <= 1 to suppress way faults (e.g. for engines that cannot
+// model them). The result always passes Validate(cores, ways): events
+// that would take the last core or the last way down are dropped rather
+// than emitted.
+func Generate(seed int64, rate float64, horizon int64, cores, ways int) Plan {
+	var p Plan
+	if rate <= 0 || horizon <= 0 || cores < 1 {
+		return p
+	}
+	r := rng{state: uint64(seed)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d}
+	lambda := rate / 1e9 // events per cycle
+	at := int64(0)
+	for {
+		gap := -math.Log(1-r.float64()) / lambda
+		at += int64(gap) + 1
+		if at >= horizon {
+			return p
+		}
+		var e Event
+		switch pick := r.float64(); {
+		case pick < 0.40 && cores > 1:
+			e = Event{
+				Kind:     CoreFail,
+				At:       at,
+				Duration: horizon/32 + int64(r.float64()*float64(horizon/8)),
+				Core:     r.intn(cores),
+			}
+			// Never leave zero cores: move to a healthy core, or drop.
+			// Feasibility is checked against the WHOLE plan — adding an
+			// event also grows the concurrency count of every earlier
+			// event it overlaps, so a local check is not enough.
+			ok := false
+			for try := 0; try < cores; try++ {
+				e.Core = (e.Core + try) % cores
+				if p.admits(e, cores, ways) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+		case pick < 0.75 && ways > 1:
+			e = Event{
+				Kind:     WayFault,
+				At:       at,
+				Duration: horizon/16 + int64(r.float64()*float64(horizon/8)),
+				Ways:     1 + r.intn(min(4, ways-1)),
+			}
+			// Shrink to what the concurrent-darkness budget allows.
+			for e.Ways >= 1 && !p.admits(e, cores, ways) {
+				e.Ways--
+			}
+			if e.Ways < 1 {
+				continue
+			}
+		default:
+			e = Event{
+				Kind:     LatencySpike,
+				At:       at,
+				Duration: horizon/64 + int64(r.float64()*float64(horizon/16)),
+				Factor:   1.5 + 2.5*r.float64(),
+			}
+		}
+		p.Events = append(p.Events, e)
+	}
+}
+
+// admits reports whether adding e keeps the plan valid for the machine.
+func (p Plan) admits(e Event, cores, ways int) bool {
+	t := Plan{Events: append(p.Events[:len(p.Events):len(p.Events)], e)}
+	return t.Validate(cores, ways) == nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -11,9 +11,16 @@
 //	job name=batch  bench=gobmk mode=elastic slack=5% ways=7     tw=300ms deadline=3.0
 //	job name=scav   bench=milc  mode=opportunistic ways=4        tw=200ms arrival=10ms
 //
+//	# deterministic fault injection (applies under qosctl -simulate)
+//	fault core-fail at=5ms for=3ms core=1
+//	fault way-fault at=2ms for=4ms ways=4
+//	fault latency-spike at=1ms for=2ms factor=1.5
+//
 // Durations accept ns/us/ms/s suffixes or bare cycle counts; deadlines
 // are either a factor of tw (a bare number like 2.0) or an absolute
-// duration after arrival (e.g. 900ms).
+// duration after arrival (e.g. 900ms). Fault at=/for= values are
+// durations too (converted to cycles by FaultPlan); the remaining fault
+// keys follow the fault package's text form.
 package jobfile
 
 import (
@@ -25,6 +32,7 @@ import (
 	"strings"
 	"time"
 
+	"cmpqos/internal/fault"
 	"cmpqos/internal/qos"
 	"cmpqos/internal/sim"
 	"cmpqos/internal/workload"
@@ -50,6 +58,9 @@ type Spec struct {
 	NodeCount    int
 	NodeCapacity qos.ResourceVector
 	Jobs         []JobSpec
+	// Faults holds the file's fault directives with At/Duration still in
+	// nanoseconds; FaultPlan converts them to cycles.
+	Faults []fault.Event
 }
 
 // ParseError carries the offending line number.
@@ -81,6 +92,19 @@ func Parse(r io.Reader) (*Spec, error) {
 			continue
 		}
 		fields := strings.Fields(line)
+		if fields[0] == "fault" {
+			// The kind name after the directive is not key=value, so the
+			// fault line has its own decoder.
+			if len(fields) < 2 {
+				return nil, errf(lineNo, "fault directive needs a kind (core-fail|way-fault|latency-spike)")
+			}
+			e, err := parseFault(lineNo, fields[1], fields[2:])
+			if err != nil {
+				return nil, err
+			}
+			spec.Faults = append(spec.Faults, e)
+			continue
+		}
 		kv, err := parseKVs(lineNo, fields[1:])
 		if err != nil {
 			return nil, err
@@ -247,6 +271,9 @@ func parseJob(line int, kv map[string]string) (JobSpec, error) {
 	case "strict":
 		j.Mode = qos.Strict()
 	case "elastic":
+		if slack <= 0 || slack > 1 {
+			return j, errf(line, "elastic slack %v out of (0,1]", slack)
+		}
 		j.Mode = qos.Elastic(slack)
 	case "opportunistic":
 		j.Mode = qos.Opportunistic()
@@ -266,6 +293,34 @@ func parseJob(line int, kv map[string]string) (JobSpec, error) {
 		return j, errf(line, "a deadline requires tw")
 	}
 	return j, nil
+}
+
+// parseFault decodes one fault directive. The at= and for= values are
+// durations in the file's own syntax; they are rewritten to integer
+// nanosecond counts before handing the line to the fault package's
+// shared event decoder, which owns every other key.
+func parseFault(line int, kind string, kvs []string) (fault.Event, error) {
+	out := make([]string, 0, len(kvs))
+	for _, f := range kvs {
+		i := strings.IndexByte(f, '=')
+		if i <= 0 {
+			return fault.Event{}, errf(line, "malformed field %q (want key=value)", f)
+		}
+		key, val := f[:i], f[i+1:]
+		if key == "at" || key == "for" {
+			ns, err := parseDuration(val)
+			if err != nil {
+				return fault.Event{}, errf(line, "bad %s %q: %v", key, val, err)
+			}
+			f = fmt.Sprintf("%s=%d", key, ns)
+		}
+		out = append(out, f)
+	}
+	e, err := fault.ParseEvent(kind, out)
+	if err != nil {
+		return fault.Event{}, errf(line, "%v", err)
+	}
+	return e, nil
 }
 
 // parseDuration accepts ns/us/ms/s suffixes or bare cycle-less numbers
@@ -353,6 +408,28 @@ func (s *Spec) Script(clockHz float64) []sim.ScriptedJob {
 	// The simulator consumes submissions in arrival order.
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Arrival < out[j].Arrival })
 	return out
+}
+
+// FaultPlan converts the spec's fault directives into a cycle-domain
+// injection plan at the given clock frequency. A transient fault whose
+// duration rounds down to zero cycles is kept transient (one cycle)
+// rather than silently becoming permanent, since Duration 0 means
+// "never recovers" in the fault package.
+func (s *Spec) FaultPlan(clockHz float64) fault.Plan {
+	if len(s.Faults) == 0 {
+		return fault.Plan{}
+	}
+	ev := make([]fault.Event, len(s.Faults))
+	for i, e := range s.Faults {
+		e.At = Cycles(e.At, clockHz)
+		if e.Duration > 0 {
+			if e.Duration = Cycles(e.Duration, clockHz); e.Duration == 0 {
+				e.Duration = 1
+			}
+		}
+		ev[i] = e
+	}
+	return fault.Plan{Events: ev}
 }
 
 // Requests converts the spec's jobs into admission requests at the given

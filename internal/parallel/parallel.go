@@ -12,6 +12,7 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -48,10 +49,16 @@ func (p *Pool) Workers() int { return p.workers }
 // allows: if any job fails, Map returns the error of the lowest-index
 // failing job and jobs not yet started are skipped. A panic inside fn is
 // captured and reported as that job's error rather than tearing down the
-// process.
-func Map[T any](p *Pool, n int, fn func(i int) (T, error)) ([]T, error) {
+// process. Cancelling ctx stops new jobs from being claimed; jobs
+// already running finish (fn should watch ctx itself for long runs), and
+// Map reports ctx.Err() if the sweep was cut short without another
+// error. A nil ctx means no cancellation.
+func Map[T any](ctx context.Context, p *Pool, n int, fn func(i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	workers := p.workers
 	if workers > n {
@@ -61,6 +68,9 @@ func Map[T any](p *Pool, n int, fn func(i int) (T, error)) ([]T, error) {
 	if workers == 1 {
 		// Serial fast path: no goroutines, exactly the historical loop.
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			v, err := runJob(i, fn)
 			if err != nil {
 				return nil, err
@@ -72,6 +82,7 @@ func Map[T any](p *Pool, n int, fn func(i int) (T, error)) ([]T, error) {
 
 	var (
 		next     atomic.Int64
+		done     atomic.Int64
 		failed   atomic.Bool
 		mu       sync.Mutex
 		firstIdx = n
@@ -92,7 +103,7 @@ func Map[T any](p *Pool, n int, fn func(i int) (T, error)) ([]T, error) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= n || failed.Load() {
+				if i >= n || failed.Load() || ctx.Err() != nil {
 					return
 				}
 				v, err := runJob(i, fn)
@@ -101,12 +112,16 @@ func Map[T any](p *Pool, n int, fn func(i int) (T, error)) ([]T, error) {
 					return
 				}
 				out[i] = v
+				done.Add(1)
 			}
 		}()
 	}
 	wg.Wait()
 	if firstErr != nil {
 		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil && int(done.Load()) < n {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -30,7 +31,7 @@ func TestNewNormalizesWorkerCount(t *testing.T) {
 func TestMapOrdersResults(t *testing.T) {
 	for _, workers := range []int{1, 2, 8, 64} {
 		const n = 100
-		out, err := Map(New(workers), n, func(i int) (int, error) {
+		out, err := Map(context.Background(), New(workers), n, func(i int) (int, error) {
 			if i%7 == 0 {
 				time.Sleep(time.Millisecond) // scramble completion order
 			}
@@ -51,7 +52,7 @@ func TestMapOrdersResults(t *testing.T) {
 }
 
 func TestMapEmpty(t *testing.T) {
-	out, err := Map(New(4), 0, func(i int) (int, error) { return 0, nil })
+	out, err := Map(context.Background(), New(4), 0, func(i int) (int, error) { return 0, nil })
 	if err != nil || out != nil {
 		t.Fatalf("Map over zero jobs = (%v, %v), want (nil, nil)", out, err)
 	}
@@ -62,7 +63,7 @@ func TestMapEmpty(t *testing.T) {
 func TestMapFirstErrorWins(t *testing.T) {
 	sentinel := errors.New("boom")
 	for _, workers := range []int{1, 4} {
-		_, err := Map(New(workers), 50, func(i int) (int, error) {
+		_, err := Map(context.Background(), New(workers), 50, func(i int) (int, error) {
 			if i == 3 || i == 30 {
 				return 0, fmt.Errorf("job %d: %w", i, sentinel)
 			}
@@ -82,7 +83,7 @@ func TestMapFirstErrorWins(t *testing.T) {
 func TestMapErrorSkipsRemaining(t *testing.T) {
 	var started atomic.Int64
 	const n = 10_000
-	_, err := Map(New(2), n, func(i int) (int, error) {
+	_, err := Map(context.Background(), New(2), n, func(i int) (int, error) {
 		started.Add(1)
 		if i == 0 {
 			return 0, errors.New("early failure")
@@ -99,7 +100,7 @@ func TestMapErrorSkipsRemaining(t *testing.T) {
 
 func TestMapCapturesPanic(t *testing.T) {
 	for _, workers := range []int{1, 4} {
-		_, err := Map(New(workers), 8, func(i int) (int, error) {
+		_, err := Map(context.Background(), New(workers), 8, func(i int) (int, error) {
 			if i == 5 {
 				panic("kaboom")
 			}
@@ -119,7 +120,7 @@ func TestMapCapturesPanic(t *testing.T) {
 func TestMapBoundsConcurrency(t *testing.T) {
 	const workers = 3
 	var cur, peak atomic.Int64
-	_, err := Map(New(workers), 200, func(i int) (int, error) {
+	_, err := Map(context.Background(), New(workers), 200, func(i int) (int, error) {
 		c := cur.Add(1)
 		for {
 			p := peak.Load()
@@ -148,7 +149,7 @@ func TestMapOverlapsWallClock(t *testing.T) {
 	const n = 8
 	const nap = 20 * time.Millisecond
 	start := time.Now()
-	_, err := Map(New(n), n, func(i int) (int, error) {
+	_, err := Map(context.Background(), New(n), n, func(i int) (int, error) {
 		time.Sleep(nap)
 		return i, nil
 	})
@@ -166,12 +167,12 @@ func TestMapDeterministicAcrossWorkerCounts(t *testing.T) {
 	job := func(i int) (string, error) {
 		return fmt.Sprintf("cell-%03d", i*31%97), nil
 	}
-	serial, err := Map(New(1), 97, job)
+	serial, err := Map(context.Background(), New(1), 97, job)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{2, 8} {
-		par, err := Map(New(workers), 97, job)
+		par, err := Map(context.Background(), New(workers), 97, job)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -239,6 +239,64 @@ func (l *LAC) reserve(jobID int, vec ResourceVector, start, dur int64) int {
 	return id
 }
 
+// SetCapacity tells the LAC its node's capacity changed at time now —
+// the fault path. The timeline shrinks (or grows) and any reservations
+// that no longer fit are evicted; their per-job bookkeeping is dropped
+// here and the evictions are returned so the caller can re-admit,
+// downgrade, or terminate the affected jobs.
+func (l *LAC) SetCapacity(capacity ResourceVector, now int64) []Reservation {
+	evicted := l.timeline.SetCapacity(capacity, now)
+	for _, ev := range evicted {
+		ids := l.resByJob[ev.JobID]
+		for i, id := range ids {
+			if id == ev.ID {
+				ids = append(ids[:i], ids[i+1:]...)
+				break
+			}
+		}
+		if len(ids) == 0 {
+			delete(l.resByJob, ev.JobID)
+		} else {
+			l.resByJob[ev.JobID] = ids
+		}
+	}
+	return evicted
+}
+
+// AdmitAutoDowngrade is the forced §3.4 path used during fault
+// recovery-admission: re-place an evicted Strict job's reservation as
+// late as possible before its deadline, letting it run opportunistically
+// until the slot begins. Unlike Admit, it does not require the
+// WithAutoDowngrade policy or minimum slack — losing the original slot
+// to a fault already justifies the downgrade.
+func (l *LAC) AdmitAutoDowngrade(req Request) Decision {
+	l.charge()
+	rum, ok := asRUMRef(req.Target)
+	if !ok || rum.Validate(req.Arrival) != nil || !rum.HasTimeslot() || rum.Deadline == 0 {
+		l.rejects++
+		return Decision{Reason: "qos: target not eligible for auto-downgrade"}
+	}
+	if _, ok := OpportunisticWindow(req.Arrival, rum.MaxWallClock, rum.Deadline); !ok {
+		l.rejects++
+		return Decision{Reason: "qos: no opportunistic window before the deadline"}
+	}
+	start, ok := l.timeline.LatestFit(rum.Resources, req.Arrival, rum.MaxWallClock, rum.Deadline)
+	if !ok {
+		l.rejects++
+		return Decision{Reason: "qos: no timeslot for auto-downgraded job"}
+	}
+	d := Decision{Accepted: true, Start: start, AutoDowngraded: true, SwitchBack: start}
+	d.ReservationID = l.reserve(req.JobID, rum.Resources, start, rum.MaxWallClock)
+	return d
+}
+
+// ShrinkReservation shrinks a live reservation's vector in place (elastic
+// way-shedding under cache faults). It reports whether the reservation
+// exists and the new vector is no larger than the old.
+func (l *LAC) ShrinkReservation(id int, vec ResourceVector) bool {
+	return l.timeline.ShrinkVec(id, vec)
+}
+
 // Complete tells the LAC a job finished at time now: its remaining
 // reservations are truncated (reclaimed) so future jobs can be accepted
 // earlier, and opportunistic bookkeeping is released.

@@ -182,6 +182,82 @@ func (t *Timeline) TruncateAt(id int, x int64) {
 	}
 }
 
+// SetCapacity changes the node's capacity from time `from` onward — the
+// fault-injection path: ways go dark or cores fail (shrink), and later
+// recover (grow). Reservation intervals before `from` already happened
+// and are left alone. When the new capacity overcommits some instant ≥
+// from, reservations are evicted until every instant fits again; victims
+// are the latest-admitted holds at the first overcommitted instant
+// (latest start, then largest ID), matching the FCFS contract — the jobs
+// admitted first keep their slots. Evicted reservations are returned so
+// the caller can re-negotiate or record violations for their jobs.
+func (t *Timeline) SetCapacity(capacity ResourceVector, from int64) []Reservation {
+	if !capacity.Valid() || capacity.IsZero() {
+		panic(fmt.Sprintf("qos: invalid timeline capacity %v", capacity))
+	}
+	t.capacity = capacity
+	var evicted []Reservation
+	for {
+		at, over := t.overcommittedAt(from)
+		if !over {
+			return evicted
+		}
+		// Victim: among reservations covering the overcommitted instant,
+		// the one admitted latest.
+		v := -1
+		for i, r := range t.res {
+			if r.Start > at || r.End <= at {
+				continue
+			}
+			if v == -1 || r.Start > t.res[v].Start ||
+				(r.Start == t.res[v].Start && r.ID > t.res[v].ID) {
+				v = i
+			}
+		}
+		if v == -1 {
+			return evicted // capacity itself is overcommitted by nothing
+		}
+		evicted = append(evicted, t.res[v])
+		t.res = append(t.res[:v], t.res[v+1:]...)
+	}
+}
+
+// overcommittedAt finds the first instant ≥ from where usage exceeds
+// capacity. Usage is piecewise constant, so checking `from` and every
+// reservation start after it covers all instants.
+func (t *Timeline) overcommittedAt(from int64) (int64, bool) {
+	at, over := int64(0), false
+	check := func(x int64) {
+		if (!over || x < at) && !t.UsageAt(x).Fits(t.capacity) {
+			at, over = x, true
+		}
+	}
+	check(from)
+	for _, r := range t.res {
+		if r.Start > from && r.End > from {
+			check(r.Start)
+		}
+	}
+	return at, over
+}
+
+// ShrinkVec replaces reservation id's vector with a smaller one — the
+// elastic way-shedding path under cache faults. It refuses to grow any
+// component (growth would need a fresh fit check) and reports whether
+// the reservation was found and shrunk.
+func (t *Timeline) ShrinkVec(id int, vec ResourceVector) bool {
+	for i := range t.res {
+		if t.res[i].ID == id {
+			if !vec.Fits(t.res[i].Vec) {
+				return false
+			}
+			t.res[i].Vec = vec
+			return true
+		}
+	}
+	return false
+}
+
 // Get returns a reservation by ID.
 func (t *Timeline) Get(id int) (Reservation, bool) {
 	for _, r := range t.res {

@@ -17,6 +17,7 @@ import (
 
 	"cmpqos/internal/cache"
 	"cmpqos/internal/cpu"
+	"cmpqos/internal/fault"
 	"cmpqos/internal/mem"
 	"cmpqos/internal/qos"
 	"cmpqos/internal/workload"
@@ -208,6 +209,13 @@ type Config struct {
 	// SeriesStride epochs (default 16 when enabled).
 	RecordSeries bool
 	SeriesStride int
+	// Faults is the deterministic fault-injection plan applied during
+	// the run: timed core failures/recoveries, cache-way faults, and
+	// memory-latency spikes (see internal/fault). The zero value injects
+	// nothing and leaves every result bit-identical to a fault-free
+	// build. Plan is a plain value, so fault plans participate in the
+	// RunCache memo key like every other Config field.
+	Faults fault.Plan
 	// Seed drives all pseudo-randomness (arrivals, deadline mix,
 	// synthetic traces).
 	Seed int64
@@ -294,6 +302,19 @@ func (c Config) Validate() error {
 	}
 	if c.Policy == UCPPart && c.Engine != EngineTable {
 		return fmt.Errorf("sim: UCP-Part is a table-engine baseline")
+	}
+	if err := c.Faults.Validate(c.Cores, c.L2.Ways); err != nil {
+		return err
+	}
+	if c.Engine == EngineTrace {
+		// The trace engine drives a physical way-partitioned array whose
+		// geometry is fixed at construction; dark ways are a table-engine
+		// abstraction (same precedent as UCP-Part above).
+		for _, e := range c.Faults.Events {
+			if e.Kind == fault.WayFault {
+				return fmt.Errorf("sim: way-fault events require the table engine")
+			}
+		}
 	}
 	if c.ModelL1 {
 		if c.Engine != EngineTrace {

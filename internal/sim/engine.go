@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"cmpqos/internal/alloc"
@@ -75,6 +76,18 @@ type Runner struct {
 	fragIdleCores float64
 	fragIdleWays  float64
 	fragInternal  float64
+
+	// Fault-injection state (internal/sim/fault.go). latFactor is 1.0
+	// whenever no spike is active, and multiplying a float64 by exactly
+	// 1.0 is the identity, so the fault-free hot path stays bit-identical.
+	faultPts  []faultPoint
+	faultPos  int
+	coreDown  []bool
+	downCores int
+	waysDown  int
+	latActive []float64
+	latFactor float64
+	fstats    FaultStats
 
 	sc epochScratch
 }
@@ -196,6 +209,9 @@ func New(cfg Config) (*Runner, error) {
 	r.sc.byCore = make([][]*Job, cfg.Cores)
 	r.sc.load = make([]int, cfg.Cores)
 	r.sc.reservedOn = make([]*Job, cfg.Cores)
+	r.faultPts = buildFaultPoints(cfg.Faults)
+	r.coreDown = make([]bool, cfg.Cores)
+	r.latFactor = 1.0
 	return r, nil
 }
 
@@ -204,10 +220,23 @@ func (r *Runner) Recorder() *trace.Recorder { return r.rec }
 
 // Run executes the simulation and returns its report.
 func (r *Runner) Run() (*Report, error) {
+	return r.RunContext(context.Background())
+}
+
+// RunContext is Run with cancellation: the epoch loop polls ctx every
+// 1024 epochs (a quarter-gigacycle at default epoch length — frequent
+// enough to cancel promptly, rare enough to stay off the hot path) and
+// aborts with ctx's error when it fires. A nil ctx never cancels.
+func (r *Runner) RunContext(ctx context.Context) (*Report, error) {
 	for !r.done() {
 		if r.now > r.cfg.MaxCycles {
 			return nil, fmt.Errorf("sim: exceeded safety horizon %d cycles with %d/%d accepted jobs done",
 				r.cfg.MaxCycles, r.doneCount(), len(r.accepted))
+		}
+		if ctx != nil && r.epochIdx&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("sim: run canceled after %d cycles: %w", r.now, err)
+			}
 		}
 		r.step()
 	}
@@ -222,6 +251,7 @@ func (r *Runner) Run() (*Report, error) {
 // assignCores/assignWays is unchanged between events.
 func (r *Runner) step() {
 	epochEnd := r.now + r.cfg.EpochCycles
+	r.applyFaults(epochEnd)
 	if !r.external {
 		r.processArrivals(epochEnd)
 	}
@@ -338,8 +368,13 @@ func (r *Runner) fragDeltas(byCore [][]*Job) (idleCores, idleWays, internal floa
 			internal += coreWays - coreUseful
 		}
 	}
-	idleCores = float64(r.cfg.Cores - busyCores)
-	if idle := float64(r.cfg.L2.Ways) - usedWays; idle > 0 {
+	// Faulted resources are lost capacity, not fragmentation: they are
+	// excluded from both idle pools.
+	idleCores = float64(r.cfg.Cores - r.downCores - busyCores)
+	if idleCores < 0 {
+		idleCores = 0
+	}
+	if idle := float64(r.cfg.L2.Ways-r.waysDown) - usedWays; idle > 0 {
 		idleWays = idle
 	}
 	return idleCores, idleWays, internal
@@ -697,6 +732,11 @@ func (r *Runner) assignCores() [][]*Job {
 		load := r.sc.load
 		for i := range load {
 			load[i] = 0
+			if r.coreDown[i] {
+				// A failed core never wins the min-load pick; injection
+				// displaced whatever ran there.
+				load[i] = 1 << 30
+			}
 		}
 		unplaced := r.sc.unplaced[:0]
 		for _, j := range r.accepted {
@@ -735,7 +775,7 @@ func (r *Runner) assignCores() [][]*Job {
 			continue
 		}
 		if j.ReservedRunning(r.now) {
-			if j.Core >= 0 && reservedOn[j.Core] == nil {
+			if j.Core >= 0 && !r.coreDown[j.Core] && reservedOn[j.Core] == nil {
 				reservedOn[j.Core] = j
 			} else {
 				j.Core = -1
@@ -748,7 +788,7 @@ func (r *Runner) assignCores() [][]*Job {
 	for _, j := range needCore {
 		placed := false
 		for c := 0; c < r.cfg.Cores; c++ {
-			if reservedOn[c] == nil {
+			if reservedOn[c] == nil && !r.coreDown[c] {
 				reservedOn[c] = j
 				j.Core = c
 				placed = true
@@ -769,13 +809,13 @@ func (r *Runner) assignCores() [][]*Job {
 	}
 	freeCores := r.sc.freeCores[:0]
 	for c := 0; c < r.cfg.Cores; c++ {
-		if reservedOn[c] == nil {
+		if reservedOn[c] == nil && !r.coreDown[c] {
 			freeCores = append(freeCores, c)
 		}
 	}
 	oppUnplaced := r.sc.unplaced[:0]
 	for _, j := range opps {
-		if j.Core >= 0 && reservedOn[j.Core] == nil {
+		if j.Core >= 0 && !r.coreDown[j.Core] && reservedOn[j.Core] == nil {
 			load[j.Core]++
 		} else {
 			j.Core = -1
@@ -825,7 +865,7 @@ func minIndex(xs []int) int {
 // cache evenly across cores.
 func (r *Runner) assignWays(byCore [][]*Job) {
 	if r.cfg.Policy == EqualPart {
-		per := float64(r.cfg.L2.Ways) / float64(r.cfg.Cores)
+		per := float64(r.cfg.L2.Ways-r.waysDown) / float64(r.cfg.Cores-r.downCores)
 		for _, jobs := range byCore {
 			for _, j := range jobs {
 				j.setWaysF(per)
@@ -853,7 +893,7 @@ func (r *Runner) assignWays(byCore [][]*Job) {
 			}
 		}
 	}
-	pool := float64(r.cfg.L2.Ways - reservedWays)
+	pool := float64(r.cfg.L2.Ways - r.waysDown - reservedWays)
 	if len(oppJobs) > 0 {
 		per := pool / float64(len(oppJobs))
 		if per < 0.25 {
@@ -888,7 +928,7 @@ func (r *Runner) assignWaysUCP(byCore [][]*Job) {
 	if len(demands) == 0 {
 		return
 	}
-	ways := alloc.UCP(demands, r.cfg.L2.Ways)
+	ways := alloc.UCP(demands, r.cfg.L2.Ways-r.waysDown)
 	for i, c := range cores {
 		for _, j := range byCore[c] {
 			j.setWaysF(float64(ways[i]))
@@ -1043,13 +1083,15 @@ type coreSchedState struct {
 // honoring the reserved-over-opportunistic bus prioritization when the
 // configuration enables it (§4.2 footnote 2).
 func (r *Runner) penaltyFor(j *Job) float64 {
+	// latFactor is exactly 1.0 outside latency-spike windows, and x*1.0
+	// is the IEEE-754 identity, so fault-free runs stay bit-identical.
 	if !r.cfg.PrioritizeBus || r.cfg.Policy.noAdmission() {
-		return r.bus.MissPenalty()
+		return r.bus.MissPenalty() * r.latFactor
 	}
 	if j.ReservedRunning(r.now) {
-		return r.bus.MissPenaltyFor(mem.PrioReserved)
+		return r.bus.MissPenaltyFor(mem.PrioReserved) * r.latFactor
 	}
-	return r.bus.MissPenaltyFor(mem.PrioOpportunistic)
+	return r.bus.MissPenaltyFor(mem.PrioOpportunistic) * r.latFactor
 }
 
 // overBudget reports whether a reserved-running job has exhausted its

@@ -1,0 +1,394 @@
+package sim
+
+import (
+	"cmpqos/internal/fault"
+	"cmpqos/internal/qos"
+	"cmpqos/internal/steal"
+	"cmpqos/internal/trace"
+)
+
+// faultPoint is one scheduled capacity transition: the injection of a
+// fault event or its recovery. Points are pre-sorted at construction, so
+// the per-epoch check is a single index comparison.
+type faultPoint struct {
+	at      int64
+	recover bool
+	ev      fault.Event
+}
+
+// buildFaultPoints expands the config's plan into the ordered transition
+// list. Events are normalized first (canonical order), then recoveries
+// are sequenced before injections at the same cycle so capacity freed by
+// a recovery is visible to a simultaneous fault's refit.
+func buildFaultPoints(p fault.Plan) []faultPoint {
+	if p.Empty() {
+		return nil
+	}
+	n := p.Normalized()
+	pts := make([]faultPoint, 0, 2*len(n.Events))
+	for _, e := range n.Events {
+		pts = append(pts, faultPoint{at: e.At, ev: e})
+		if e.Duration > 0 {
+			pts = append(pts, faultPoint{at: e.End(), recover: true, ev: e})
+		}
+	}
+	// Stable sort keeps the normalized order within each (at, recover)
+	// class, so the application order is canonical too.
+	for i := 1; i < len(pts); i++ {
+		for j := i; j > 0 && faultPointLess(pts[j], pts[j-1]); j-- {
+			pts[j], pts[j-1] = pts[j-1], pts[j]
+		}
+	}
+	return pts
+}
+
+func faultPointLess(a, b faultPoint) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.recover && !b.recover
+}
+
+// FaultStats aggregates one run's degradation record.
+type FaultStats struct {
+	CoreFails     int
+	CoreRecovers  int
+	WayFaults     int
+	WayRecovers   int
+	LatencySpikes int
+	// Evictions counts reservations pushed off the shrunken timeline.
+	Evictions int
+	// Readmitted counts evicted jobs the LAC re-placed (including the
+	// auto-downgraded ones).
+	Readmitted int
+	// AutoDowngrades counts forced §3.4 downgrades during refit: the
+	// evicted Strict job no longer fit earliest-first, but a latest-fit
+	// reservation before its deadline still did.
+	AutoDowngrades int
+	// Violations counts jobs the framework could not keep after a fault:
+	// terminated with a recorded QoS violation.
+	Violations int
+	// WaysShed counts elastic reservation ways surrendered to dark-way
+	// faults through the stealing controller's shed path.
+	WaysShed int
+	// MissesInFaultWindows counts deadline misses (and violations) of
+	// jobs whose lifetime overlapped an active fault — the "attributable
+	// to faults" slice of the degradation metrics.
+	MissesInFaultWindows int
+}
+
+// Faulted reports whether any fault actually fired.
+func (s FaultStats) Faulted() bool {
+	return s.CoreFails+s.WayFaults+s.LatencySpikes > 0
+}
+
+// applyFaults fires every fault transition scheduled before epochEnd.
+// It runs at the top of the epoch, before arrivals, so admission and
+// the epoch plan see the post-fault capacity; every transition is a QoS
+// event and invalidates the cached plan.
+func (r *Runner) applyFaults(epochEnd int64) {
+	for r.faultPos < len(r.faultPts) && r.faultPts[r.faultPos].at < epochEnd {
+		pt := r.faultPts[r.faultPos]
+		r.faultPos++
+		if pt.recover {
+			r.recoverFault(pt.ev)
+		} else {
+			r.injectFault(pt.ev)
+		}
+		r.planOK = false
+	}
+}
+
+func (r *Runner) injectFault(ev fault.Event) {
+	switch ev.Kind {
+	case fault.CoreFail:
+		r.fstats.CoreFails++
+		r.coreDown[ev.Core] = true
+		r.downCores++
+		r.coreSched[ev.Core] = coreSchedState{}
+		r.rec.Record(trace.Event{Cycle: r.now, JobID: -1, Kind: trace.CoreFail,
+			Detail: int64(ev.Core)})
+		// Displace whatever was running there; assignCores re-places
+		// reserved jobs on surviving cores and stalls the rest.
+		for _, j := range r.accepted {
+			if j.State == StateRunning && j.Core == ev.Core {
+				j.Core = -1
+			}
+		}
+		r.refitReservations()
+	case fault.WayFault:
+		r.fstats.WayFaults++
+		r.waysDown += ev.Ways
+		r.rec.Record(trace.Event{Cycle: r.now, JobID: -1, Kind: trace.WayFault,
+			Detail: int64(r.waysDown)})
+		r.shedElastic()
+		r.refitReservations()
+	case fault.LatencySpike:
+		r.fstats.LatencySpikes++
+		r.latActive = append(r.latActive, ev.Factor)
+		r.refreshLatFactor()
+		r.rec.Record(trace.Event{Cycle: r.now, JobID: -1, Kind: trace.LatencySpike,
+			Detail: int64(ev.Factor * 1000)})
+	}
+}
+
+func (r *Runner) recoverFault(ev fault.Event) {
+	switch ev.Kind {
+	case fault.CoreFail:
+		r.fstats.CoreRecovers++
+		r.coreDown[ev.Core] = false
+		r.downCores--
+		r.coreSched[ev.Core] = coreSchedState{}
+		r.rec.Record(trace.Event{Cycle: r.now, JobID: -1, Kind: trace.CoreRecover,
+			Detail: int64(ev.Core)})
+		r.refitReservations() // growth: re-admits capacity, evicts nothing
+	case fault.WayFault:
+		r.fstats.WayRecovers++
+		r.waysDown -= ev.Ways
+		r.rec.Record(trace.Event{Cycle: r.now, JobID: -1, Kind: trace.WayRecover,
+			Detail: int64(r.waysDown)})
+		r.refitReservations()
+	case fault.LatencySpike:
+		for i, f := range r.latActive {
+			if f == ev.Factor {
+				r.latActive = append(r.latActive[:i], r.latActive[i+1:]...)
+				break
+			}
+		}
+		r.refreshLatFactor()
+		r.rec.Record(trace.Event{Cycle: r.now, JobID: -1, Kind: trace.LatencySpike,
+			Detail: int64(r.latFactor * 1000)})
+	}
+}
+
+// refreshLatFactor recomputes the effective penalty multiplier: the
+// worst of the currently active spikes (they model the same shared
+// memory path, so they do not compound).
+func (r *Runner) refreshLatFactor() {
+	r.latFactor = 1.0
+	for _, f := range r.latActive {
+		if f > r.latFactor {
+			r.latFactor = f
+		}
+	}
+}
+
+// faultCapacity is the node's current capacity vector net of faults.
+func (r *Runner) faultCapacity() qos.ResourceVector {
+	return qos.ResourceVector{
+		Cores:     r.cfg.Cores - r.downCores,
+		CacheWays: r.cfg.L2.Ways - r.waysDown,
+	}
+}
+
+// refitReservations repairs the reservation timeline after a capacity
+// change: the LAC re-runs its accounting over the shrunken (or regrown)
+// vector, and every evicted job is re-negotiated — earliest-fit first,
+// then the forced §3.4 auto-downgrade, and finally termination with a
+// recorded QoS violation when nothing before the deadline fits.
+func (r *Runner) refitReservations() {
+	if r.lac == nil {
+		return
+	}
+	evicted := r.lac.SetCapacity(r.faultCapacity(), r.now)
+	if len(evicted) == 0 {
+		return
+	}
+	// One readmission per distinct job, in admission (ID) order so the
+	// earliest-admitted evictee gets first pick of the remaining slots.
+	seen := map[int]bool{}
+	var ids []int
+	for _, res := range evicted {
+		if !seen[res.JobID] {
+			seen[res.JobID] = true
+			ids = append(ids, res.JobID)
+		}
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	for _, id := range ids {
+		for _, j := range r.accepted {
+			if j.ID == id {
+				r.fstats.Evictions++
+				r.readmit(j)
+				break
+			}
+		}
+	}
+}
+
+// readmit re-negotiates one evicted job against the post-fault timeline.
+// It tries earliest-fit at the job's pre-fault width first, then §3-style
+// degraded renegotiation at progressively narrower widths (the tw budget
+// rescaled to the width's modeled CPI, so the slower run is honestly
+// declared), then the forced §3.4 auto-downgrade over the same widths,
+// and finally terminates with a recorded QoS violation.
+func (r *Runner) readmit(j *Job) {
+	if j.State == StateDone || j.State == StateTerminated || j.State == StateRejected {
+		return
+	}
+	j.ReservationID = 0
+	maxWays := j.WaysReserved
+	if c := r.faultCapacity().CacheWays; maxWays > c {
+		maxWays = c
+	}
+	if maxWays < 1 {
+		maxWays = 1
+	}
+	var dec qos.Decision
+	ways := maxWays
+	for ; ways >= 1; ways-- {
+		dec = r.lac.Admit(r.refitRequest(j, ways))
+		if dec.Accepted {
+			break
+		}
+	}
+	if !dec.Accepted && j.Mode.Kind != qos.KindOpportunistic {
+		for ways = maxWays; ways >= 1; ways-- {
+			dec = r.lac.AdmitAutoDowngrade(r.refitRequest(j, ways))
+			if dec.Accepted {
+				break
+			}
+		}
+	}
+	if !dec.Accepted {
+		r.violate(j)
+		return
+	}
+	r.fstats.Readmitted++
+	j.ReservationID = dec.ReservationID
+	j.WaysReserved = ways
+	j.TW = r.rum.MaxWallClock // the renegotiated budget the slot was sized for
+	if j.Stealer != nil {
+		// The reservation shrank (or moved); rebase the controller and
+		// the baseline curve lookups on what the job now actually holds.
+		j.Stealer = steal.New(j.Mode.Slack, ways, 1)
+		j.mpifRes = j.Profile.MPIF(float64(ways))
+		j.mpiRes = j.Profile.MPI(ways)
+	}
+	switch {
+	case dec.AutoDowngraded:
+		// Forced §3.4: run opportunistically now, switch back when the
+		// latest-fit slot begins.
+		r.fstats.AutoDowngrades++
+		wasWaiting := j.State == StateWaiting
+		j.AutoDowngraded = true
+		j.SwitchBack = dec.SwitchBack
+		j.switched = false
+		j.StartAt = r.now
+		r.rec.Record(trace.Event{Cycle: r.now, JobID: j.ID, Kind: trace.AutoDowngrade,
+			Detail: dec.SwitchBack})
+		if wasWaiting {
+			return // startJobs records Started/Downgraded as usual
+		}
+		r.rec.Record(trace.Event{Cycle: r.now, JobID: j.ID, Kind: trace.Downgraded})
+	case dec.Start > r.now:
+		// The remaining work fits, but only later: suspend until the new
+		// slot opens (waiting jobs just move their start).
+		j.StartAt = dec.Start
+		j.State = StateWaiting
+		j.Core = -1
+	default:
+		j.StartAt = dec.Start
+	}
+}
+
+// refitRequest builds the re-negotiation request for one candidate
+// width: one core, `ways` cache ways, the remaining work only, and the
+// original deadline. The request targets the runner's scratch RUM so
+// the probe loop allocates nothing per width.
+func (r *Runner) refitRequest(j *Job, ways int) qos.Request {
+	r.rum = qos.RUM{
+		Resources:    qos.ResourceVector{Cores: 1, CacheWays: ways},
+		MaxWallClock: r.refitTW(j, ways),
+		Deadline:     j.Deadline,
+	}
+	return qos.Request{JobID: j.ID, Target: &r.rum, Mode: j.Mode, Arrival: r.now}
+}
+
+// refitTW budgets the job's remaining instructions at the candidate
+// width, using the same CPI model the admission-time tw derivation
+// uses: a narrower slot runs at the profile's worse miss ratio, so the
+// declared wall-clock grows to match and the reservation stays honest.
+func (r *Runner) refitTW(j *Job, ways int) int64 {
+	p := j.Profile
+	mr := p.MissRatio(ways)
+	cpi := r.cfg.CPU.CPI(p.CPIL1Inf, p.L2APA,
+		p.L2APA*mr*p.MaxPhaseScale(), float64(r.cfg.Mem.BaseCycles))
+	tw := int64(float64(j.Remaining()) * cpi * r.cfg.TwMargin)
+	if tw < r.cfg.EpochCycles {
+		tw = r.cfg.EpochCycles
+	}
+	return tw
+}
+
+// violate terminates a job the framework cannot carry through the fault,
+// recording the QoS violation the degradation metrics count.
+func (r *Runner) violate(j *Job) {
+	r.fstats.Violations++
+	r.rec.Record(trace.Event{Cycle: r.now, JobID: j.ID, Kind: trace.QoSViolation})
+	r.rec.Record(trace.Event{Cycle: r.now, JobID: j.ID, Kind: trace.Terminated})
+	j.State = StateTerminated
+	j.Completed = r.now
+	j.Core = -1
+	r.doneN++
+	r.lac.Complete(j.ID, j.Mode, r.now)
+}
+
+// shedElastic sheds reservation ways from running Elastic jobs until the
+// reserved usage fits under the darkened cache — the graceful path that
+// spares whole reservations from eviction. Victims are the widest
+// stealing allocations first (lowest ID on ties), one way at a time.
+func (r *Runner) shedElastic() {
+	if r.lac == nil {
+		return
+	}
+	need := r.lac.Timeline().UsageAt(r.now).CacheWays - r.faultCapacity().CacheWays
+	for need > 0 {
+		var pick *Job
+		for _, j := range r.accepted {
+			if j.State != StateRunning || j.Stealer == nil || j.ReservationID == 0 {
+				continue
+			}
+			if j.Stealer.Ways() <= 1 {
+				continue
+			}
+			if pick == nil || j.Stealer.Ways() > pick.Stealer.Ways() ||
+				(j.Stealer.Ways() == pick.Stealer.Ways() && j.ID < pick.ID) {
+				pick = j
+			}
+		}
+		if pick == nil {
+			return
+		}
+		if pick.Stealer.Shed(1) == 0 {
+			return
+		}
+		pick.WaysReserved--
+		r.lac.ShrinkReservation(pick.ReservationID,
+			qos.ResourceVector{Cores: 1, CacheWays: pick.WaysReserved})
+		r.fstats.WaysShed++
+		r.planWaysDirty = true
+		r.rec.Record(trace.Event{Cycle: r.now, JobID: pick.ID, Kind: trace.StealWay,
+			Detail: int64(pick.Stealer.Ways())})
+		need--
+	}
+}
+
+// missInFaultWindow reports whether the job's lifetime overlapped any
+// event of the plan while that event was active.
+func missInFaultWindow(j JobResult, plan fault.Plan) bool {
+	end := j.Completed
+	if end == 0 {
+		end = j.Deadline
+	}
+	for _, e := range plan.Events {
+		if j.Arrival < e.End() && e.At <= end {
+			return true
+		}
+	}
+	return false
+}

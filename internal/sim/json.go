@@ -24,6 +24,23 @@ type reportJSON struct {
 	WallClock  []wallJSON     `json:"wall_clock_by_mode"`
 	Jobs       []jobJSON      `json:"jobs"`
 	Series     []SeriesSample `json:"series,omitempty"`
+	Faults     *faultJSON     `json:"faults,omitempty"`
+}
+
+// faultJSON is emitted only when a fault actually fired, keeping
+// fault-free reports byte-identical to pre-fault builds.
+type faultJSON struct {
+	CoreFails      int `json:"core_fails"`
+	CoreRecovers   int `json:"core_recovers"`
+	WayFaults      int `json:"way_faults"`
+	WayRecovers    int `json:"way_recovers"`
+	LatencySpikes  int `json:"latency_spikes"`
+	Evictions      int `json:"evictions"`
+	Readmitted     int `json:"readmitted"`
+	AutoDowngrades int `json:"auto_downgrades"`
+	Violations     int `json:"violations"`
+	WaysShed       int `json:"ways_shed"`
+	FaultMisses    int `json:"misses_in_fault_windows"`
 }
 
 type elasticJSON struct {
@@ -79,6 +96,21 @@ func (rep *Report) WriteJSON(w io.Writer) error {
 		LAC:    lacJSON{Probes: rep.LACProbes, Occupancy: rep.LACOccupancy},
 		Frag:   rep.Frag,
 		Series: rep.Series,
+	}
+	if f := rep.Faults; f.Faulted() {
+		out.Faults = &faultJSON{
+			CoreFails:      f.CoreFails,
+			CoreRecovers:   f.CoreRecovers,
+			WayFaults:      f.WayFaults,
+			WayRecovers:    f.WayRecovers,
+			LatencySpikes:  f.LatencySpikes,
+			Evictions:      f.Evictions,
+			Readmitted:     f.Readmitted,
+			AutoDowngrades: f.AutoDowngrades,
+			Violations:     f.Violations,
+			WaysShed:       f.WaysShed,
+			FaultMisses:    f.MissesInFaultWindows,
+		}
 	}
 	modes := make([]string, 0, len(rep.WallClockByMode))
 	for m := range rep.WallClockByMode {

@@ -96,6 +96,9 @@ type Report struct {
 	Series []SeriesSample
 	// Frag is the run's resource-fragmentation accounting.
 	Frag Fragmentation
+	// Faults is the degradation record when a fault plan was configured
+	// (Faulted reports whether anything actually fired).
+	Faults FaultStats
 }
 
 // report assembles the Report after the run loop terminates.
@@ -181,6 +184,14 @@ func (r *Runner) report() *Report {
 		rep.LACOccupancy = r.lac.Occupancy(rep.TotalCycles)
 		rep.LACProbes, _, _ = r.lac.Counters()
 	}
+	rep.Faults = r.fstats
+	if !r.cfg.Faults.Empty() {
+		for _, res := range rep.Jobs {
+			if !res.Met && missInFaultWindow(res, r.cfg.Faults) {
+				rep.Faults.MissesInFaultWindows++
+			}
+		}
+	}
 	rep.Series = r.series
 	if r.epochIdx > 0 {
 		den := float64(r.epochIdx)
@@ -239,6 +250,11 @@ func (rep *Report) Summary() string {
 	}
 	if rep.LACProbes > 0 {
 		fmt.Fprintf(&b, "  LAC: %d probes, occupancy %.3f%%\n", rep.LACProbes, rep.LACOccupancy*100)
+	}
+	if f := rep.Faults; f.Faulted() {
+		fmt.Fprintf(&b, "  faults: %d core, %d way, %d spike; evicted %d, readmitted %d, auto-downgraded %d, violated %d, ways shed %d\n",
+			f.CoreFails, f.WayFaults, f.LatencySpikes,
+			f.Evictions, f.Readmitted, f.AutoDowngrades, f.Violations, f.WaysShed)
 	}
 	return b.String()
 }

@@ -1,6 +1,10 @@
 package sim
 
-import "cmpqos/internal/parallel"
+import (
+	"context"
+
+	"cmpqos/internal/parallel"
+)
 
 // RunAll executes every configuration and returns the reports in the
 // same order, fanning out across at most workers goroutines (workers <= 1
@@ -10,8 +14,10 @@ import "cmpqos/internal/parallel"
 // parallel sweep indistinguishable from a serial one to the caller. On
 // failure RunAll returns the error of the lowest-index failing
 // configuration, matching what a serial loop would have reported first.
-func RunAll(workers int, cfgs []Config) ([]*Report, error) {
-	return RunAllCached(workers, nil, cfgs)
+// Cancelling ctx stops claiming new configurations and interrupts
+// in-flight simulations at their next cancellation check.
+func RunAll(ctx context.Context, workers int, cfgs []Config) ([]*Report, error) {
+	return RunAllCached(ctx, workers, nil, cfgs)
 }
 
 // RunAllCached is RunAll with run memoization: each configuration is
@@ -23,11 +29,11 @@ func RunAll(workers int, cfgs []Config) ([]*Report, error) {
 // function of its Config, the collected reports are indistinguishable
 // from uncached ones. A nil cache disables memoization, making this
 // identical to RunAll.
-func RunAllCached(workers int, cache *RunCache, cfgs []Config) ([]*Report, error) {
+func RunAllCached(ctx context.Context, workers int, cache *RunCache, cfgs []Config) ([]*Report, error) {
 	if workers == 0 {
 		workers = 1
 	}
-	return parallel.Map(parallel.New(workers), len(cfgs), func(i int) (*Report, error) {
-		return cache.Run(cfgs[i])
+	return parallel.Map(ctx, parallel.New(workers), len(cfgs), func(i int) (*Report, error) {
+		return cache.RunContext(ctx, cfgs[i])
 	})
 }

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -58,8 +60,17 @@ var DefaultRunCache = NewRunCache()
 // the same key block until the first run finishes. A nil receiver
 // disables memoization and always runs fresh.
 func (c *RunCache) Run(cfg Config) (*Report, error) {
+	return c.RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cancellation. A run interrupted by ctx is NOT
+// memoized — the entry is dropped so a later caller with a live context
+// re-executes instead of inheriting a cancellation that was never a
+// property of the configuration. Genuine simulation errors stay
+// memoized as before.
+func (c *RunCache) RunContext(ctx context.Context, cfg Config) (*Report, error) {
 	if c == nil {
-		return c.compute(cfg)
+		return c.compute(ctx, cfg)
 	}
 	key := cfg.CacheKey()
 	c.mu.Lock()
@@ -70,13 +81,20 @@ func (c *RunCache) Run(cfg Config) (*Report, error) {
 	}
 	c.mu.Unlock()
 	e.once.Do(func() {
-		e.rep, e.err = c.compute(cfg)
+		e.rep, e.err = c.compute(ctx, cfg)
 	})
+	if e.err != nil && (errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded)) {
+		c.mu.Lock()
+		if c.m[key] == e {
+			delete(c.m, key)
+		}
+		c.mu.Unlock()
+	}
 	return e.rep, e.err
 }
 
 // compute executes one simulation (counted when the cache is live).
-func (c *RunCache) compute(cfg Config) (*Report, error) {
+func (c *RunCache) compute(ctx context.Context, cfg Config) (*Report, error) {
 	if c != nil {
 		c.computes.Add(1)
 	}
@@ -84,7 +102,7 @@ func (c *RunCache) compute(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	return r.Run()
+	return r.RunContext(ctx)
 }
 
 // Computes returns how many simulations have actually executed (cache

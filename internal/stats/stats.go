@@ -146,21 +146,22 @@ type Histogram struct {
 }
 
 // NewHistogram creates a histogram with n equal-width buckets spanning
-// [lo, hi). It panics if n <= 0 or hi <= lo, since both indicate a
-// programming error rather than a runtime condition.
-func NewHistogram(lo, hi float64, n int) *Histogram {
+// [lo, hi). It rejects n <= 0 and hi <= lo with an error so callers fed
+// from configuration or computed ranges surface the bad geometry
+// instead of crashing.
+func NewHistogram(lo, hi float64, n int) (*Histogram, error) {
 	if n <= 0 {
-		panic("stats: histogram needs at least one bucket")
+		return nil, fmt.Errorf("stats: histogram needs at least one bucket, got %d", n)
 	}
 	if hi <= lo {
-		panic("stats: histogram range is empty")
+		return nil, fmt.Errorf("stats: histogram range [%v, %v) is empty", lo, hi)
 	}
 	return &Histogram{
 		lo:      lo,
 		hi:      hi,
 		width:   (hi - lo) / float64(n),
 		buckets: make([]int64, n),
-	}
+	}, nil
 }
 
 // Add records one sample.
@@ -290,12 +291,13 @@ type EWMA struct {
 	primed bool
 }
 
-// NewEWMA builds an EWMA; it panics on an out-of-range alpha.
-func NewEWMA(alpha float64) *EWMA {
+// NewEWMA builds an EWMA; it rejects an out-of-range alpha with an
+// error.
+func NewEWMA(alpha float64) (*EWMA, error) {
 	if alpha <= 0 || alpha > 1 {
-		panic(fmt.Sprintf("stats: EWMA alpha %v out of (0,1]", alpha))
+		return nil, fmt.Errorf("stats: EWMA alpha %v out of (0,1]", alpha)
 	}
-	return &EWMA{alpha: alpha}
+	return &EWMA{alpha: alpha}, nil
 }
 
 // Add folds one sample in; the first sample primes the average.

@@ -114,7 +114,10 @@ func TestSummaryMeanWithinBounds(t *testing.T) {
 }
 
 func TestHistogramBuckets(t *testing.T) {
-	h := NewHistogram(0, 10, 10)
+	h, err := NewHistogram(0, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := 0; i < 10; i++ {
 		h.Add(float64(i) + 0.5)
 	}
@@ -138,7 +141,10 @@ func TestHistogramBuckets(t *testing.T) {
 }
 
 func TestHistogramQuantile(t *testing.T) {
-	h := NewHistogram(0, 100, 100)
+	h, err := NewHistogram(0, 100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := 0; i < 100; i++ {
 		h.Add(float64(i))
 	}
@@ -154,19 +160,14 @@ func TestHistogramQuantile(t *testing.T) {
 	}
 }
 
-func TestHistogramPanics(t *testing.T) {
+func TestHistogramRejectsBadGeometry(t *testing.T) {
 	for _, tc := range []struct {
 		lo, hi float64
 		n      int
 	}{{0, 10, 0}, {0, 10, -1}, {10, 10, 5}, {10, 5, 5}} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("NewHistogram(%v,%v,%d) did not panic", tc.lo, tc.hi, tc.n)
-				}
-			}()
-			NewHistogram(tc.lo, tc.hi, tc.n)
-		}()
+		if h, err := NewHistogram(tc.lo, tc.hi, tc.n); err == nil || h != nil {
+			t.Errorf("NewHistogram(%v,%v,%d) = (%v, %v), want error", tc.lo, tc.hi, tc.n, h, err)
+		}
 	}
 }
 
@@ -240,14 +241,20 @@ func TestCoV(t *testing.T) {
 }
 
 func TestQuantileEmpty(t *testing.T) {
-	h := NewHistogram(0, 1, 4)
+	h, err := NewHistogram(0, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if h.Quantile(0.5) != 0 {
 		t.Error("quantile of empty histogram should be 0")
 	}
 }
 
 func TestEWMA(t *testing.T) {
-	e := NewEWMA(0.5)
+	e, err := NewEWMA(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if e.Primed() || e.Value() != 0 {
 		t.Fatal("fresh EWMA should be unprimed and zero")
 	}
@@ -264,14 +271,9 @@ func TestEWMA(t *testing.T) {
 		t.Error("Set failed")
 	}
 	for _, bad := range []float64{0, -0.5, 1.5} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("NewEWMA(%v) did not panic", bad)
-				}
-			}()
-			NewEWMA(bad)
-		}()
+		if e, err := NewEWMA(bad); err == nil || e != nil {
+			t.Errorf("NewEWMA(%v) = (%v, %v), want error", bad, e, err)
+		}
 	}
 }
 
@@ -279,7 +281,10 @@ func TestEWMAConverges(t *testing.T) {
 	// Property: feeding a constant converges to it regardless of start.
 	f := func(start, target uint16, alphaRaw uint8) bool {
 		alpha := 0.05 + float64(alphaRaw)/255*0.9
-		e := NewEWMA(alpha)
+		e, err := NewEWMA(alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
 		e.Set(float64(start))
 		for i := 0; i < 400; i++ {
 			e.Add(float64(target))

@@ -135,3 +135,43 @@ func (c *Controller) OnInterval(mainMisses, shadowMisses int64, pause bool) Acti
 func (c *Controller) Reset() {
 	c.curWays = c.origWays
 }
+
+// Shed permanently surrenders up to n ways of the RESERVATION itself —
+// the fault path, where darkened cache ways force the Elastic job's
+// allocation down. Unlike stealing, shed ways are not returned by a
+// rollback: the original allocation shrinks too, so a later Rollback or
+// Reset restores only what the reservation still holds. The floor is
+// minWays. Returns how many ways were actually shed.
+func (c *Controller) Shed(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	shed := c.origWays - c.minWays
+	if shed > n {
+		shed = n
+	}
+	if shed <= 0 {
+		return 0
+	}
+	c.origWays -= shed
+	if c.curWays > c.origWays {
+		c.curWays = c.origWays
+	}
+	return shed
+}
+
+// Grow raises the reservation back by up to n ways, never above limit —
+// the fault-recovery path undoing an earlier Shed. The current
+// allocation grows with it (recovered ways belong to the Elastic job
+// until stolen again). Returns how many ways were restored.
+func (c *Controller) Grow(n, limit int) int {
+	if n <= 0 || limit <= c.origWays {
+		return 0
+	}
+	if c.origWays+n > limit {
+		n = limit - c.origWays
+	}
+	c.origWays += n
+	c.curWays += n
+	return n
+}

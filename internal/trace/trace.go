@@ -40,13 +40,31 @@ const (
 	// killed by the enforcement policy (§3.2: "a job may be terminated
 	// if it runs longer than its maximum wall-clock time").
 	Terminated
+	// CoreFail: a fault took one core offline (Detail → core index).
+	CoreFail
+	// CoreRecover: a failed core came back (Detail → core index).
+	CoreRecover
+	// WayFault: a fault disabled cache ways (Detail → ways now dark).
+	WayFault
+	// WayRecover: faulted ways were restored (Detail → ways still dark).
+	WayRecover
+	// LatencySpike: the memory miss penalty was scaled (Detail →
+	// factor in thousandths, so 2500 = x2.5).
+	LatencySpike
+	// AutoDowngrade: capacity loss forced a Strict job into the §3.4
+	// automatic-downgrade path during fault recovery admission.
+	AutoDowngrade
+	// QoSViolation: the framework could not keep the job's contract
+	// after a fault — it was terminated with a recorded violation.
+	QoSViolation
 )
 
 // String names the event kind.
 func (k EventKind) String() string {
 	names := [...]string{"submitted", "accepted", "rejected", "started",
 		"downgraded", "switched-back", "steal-way", "rollback-steal", "completed",
-		"terminated"}
+		"terminated", "core-fail", "core-recover", "way-fault", "way-recover",
+		"latency-spike", "auto-downgrade", "qos-violation"}
 	if int(k) < len(names) {
 		return names[k]
 	}
