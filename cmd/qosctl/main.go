@@ -44,9 +44,15 @@ func main() {
 		runCache  = flag.Bool("runcache", true, "with -simulate: memoize repeated simulation configs")
 		faults    = flag.String("faults", "", "with -simulate: fault plan file, or a fault rate (events per gigacycle) to generate one; merged with the job file's fault directives")
 		faultSeed = flag.Int64("fault-seed", 1, "seed for a generated -faults rate plan")
+		sched     = flag.String("sched", "", "with -simulate: core scheduler policy: "+cli.PolicyList(sim.SchedulerNames())+" (empty = policy default)")
+		alloc     = flag.String("alloc", "", "with -simulate: L2 way allocator policy: "+cli.PolicyList(sim.AllocatorNames())+" (empty = policy default)")
+		admit     = flag.String("admit", "", "with -simulate: admission placement policy: "+cli.PolicyList(sim.AdmissionNames())+" (empty = fcfs)")
 		timeout   = flag.Duration("timeout", 0, "abort the run after this long (e.g. 30s; 0 = no limit)")
 	)
 	flag.Parse()
+	if err := sim.ValidatePolicyNames(*sched, *alloc, *admit); err != nil {
+		cli.Usage(prog, "%v", err)
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: qosctl [-negotiate] [-clock 2GHz] <jobfile>")
 		os.Exit(cli.ExitUsage)
@@ -70,7 +76,8 @@ func main() {
 		if err != nil {
 			cli.Fail(prog, err)
 		}
-		runSimulation(spec, *instr, *seeds, *parallel, *runCache, plan, *timeout)
+		runSimulation(spec, *instr, *seeds, *parallel, *runCache, plan, *timeout,
+			pipelineNames{*sched, *alloc, *admit})
 		return
 	}
 
@@ -161,7 +168,13 @@ func parseClock(s string) (float64, error) {
 // same script runs once per seed — the runs are independent and fan out
 // across the worker bound (0 = one per CPU), the qosctl face of the
 // qossim -parallel flag.
-func runSimulation(spec *jobfile.Spec, instr int64, seeds, workers int, useCache bool, plan fault.Plan, timeout time.Duration) {
+// pipelineNames carries the -sched/-alloc/-admit selections into the
+// simulated configurations.
+type pipelineNames struct {
+	scheduler, allocator, admission string
+}
+
+func runSimulation(spec *jobfile.Spec, instr int64, seeds, workers int, useCache bool, plan fault.Plan, timeout time.Duration, pipe pipelineNames) {
 	if seeds < 1 {
 		seeds = 1
 	}
@@ -181,6 +194,9 @@ func runSimulation(spec *jobfile.Spec, instr int64, seeds, workers int, useCache
 		if spec.NodeCapacity.Cores > 0 && spec.NodeCapacity.Cores <= cfg.L2.Owners {
 			cfg.Cores = spec.NodeCapacity.Cores
 		}
+		cfg.Scheduler = pipe.scheduler
+		cfg.Allocator = pipe.allocator
+		cfg.Admission = pipe.admission
 		cfg.Seed += int64(s)
 		cfgs = append(cfgs, cfg)
 	}

@@ -43,11 +43,17 @@ func main() {
 		planCach  = flag.Bool("plancache", true, "reuse the epoch plan between QoS events inside the sim engine")
 		faultRate = flag.Float64("faults", 0, "fault rate in events per gigacycle for the faults experiment (0 = its default sweep)")
 		faultSeed = flag.Int64("fault-seed", 0, "fault plan generator seed for the faults experiment (0 = default)")
+		sched     = flag.String("sched", "", "core scheduler policy: "+cli.PolicyList(sim.SchedulerNames())+" (empty = policy default)")
+		alloc     = flag.String("alloc", "", "L2 way allocator policy: "+cli.PolicyList(sim.AllocatorNames())+" (empty = policy default)")
+		admit     = flag.String("admit", "", "admission placement policy: "+cli.PolicyList(sim.AdmissionNames())+" (empty = fcfs)")
 		timeout   = flag.Duration("timeout", 0, "abort the run after this long (e.g. 2m; 0 = no limit)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this path")
 		memProf   = flag.String("memprofile", "", "write a heap profile (taken at exit) to this path")
 	)
 	flag.Parse()
+	if err := sim.ValidatePolicyNames(*sched, *alloc, *admit); err != nil {
+		cli.Usage(prog, "%v", err)
+	}
 
 	if *list || (*exp == "" && *html == "") {
 		fmt.Println("available experiments:")
@@ -71,6 +77,9 @@ func main() {
 		DisablePlanCache: !*planCach,
 		FaultRate:        *faultRate,
 		FaultSeed:        *faultSeed,
+		Scheduler:        *sched,
+		Allocator:        *alloc,
+		Admission:        *admit,
 	}
 	if *parallel == 0 {
 		opts.Workers = -1 // flag value 0 means "all CPUs"

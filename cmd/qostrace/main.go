@@ -32,9 +32,15 @@ func main() {
 		asJSON    = flag.Bool("json", false, "emit the full report as JSON instead of text")
 		faults    = flag.String("faults", "", "fault plan file, or a fault rate (events per gigacycle) to generate one")
 		faultSeed = flag.Int64("fault-seed", 1, "seed for a generated -faults rate plan")
+		sched     = flag.String("sched", "", "core scheduler policy: "+cli.PolicyList(sim.SchedulerNames())+" (empty = policy default)")
+		alloc     = flag.String("alloc", "", "L2 way allocator policy: "+cli.PolicyList(sim.AllocatorNames())+" (empty = policy default)")
+		admit     = flag.String("admit", "", "admission placement policy: "+cli.PolicyList(sim.AdmissionNames())+" (empty = fcfs)")
 		timeout   = flag.Duration("timeout", 0, "abort the run after this long (e.g. 30s; 0 = no limit)")
 	)
 	flag.Parse()
+	if err := sim.ValidatePolicyNames(*sched, *alloc, *admit); err != nil {
+		cli.Usage(prog, "%v", err)
+	}
 
 	pol, ok := parsePolicy(*policy)
 	if !ok {
@@ -49,6 +55,9 @@ func main() {
 	cfg.StealIntervalInstr = *instr / 100
 	cfg.Seed = *seed
 	cfg.RecordSeries = *series
+	cfg.Scheduler = *sched
+	cfg.Allocator = *alloc
+	cfg.Admission = *admit
 	cfg.Faults, err = cli.ParseFaultPlan(*faults, *faultSeed, cfg.Cores, cfg.L2.Ways)
 	if err != nil {
 		cli.Fail(prog, err)

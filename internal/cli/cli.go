@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"cmpqos/internal/fault"
@@ -76,4 +77,9 @@ func ParseFaultPlan(val string, seed int64, cores, ways int) (fault.Plan, error)
 		return fault.Plan{}, fmt.Errorf("%s: %w", val, err)
 	}
 	return p, nil
+}
+
+// PolicyList renders a registered-policy name list for flag help text.
+func PolicyList(names []string) string {
+	return strings.Join(names, "|")
 }

@@ -182,6 +182,8 @@ func CSVResult(name string, o Options) (Tabular, error) {
 		return Faults(o)
 	case "geometry":
 		return Geometry(o)
+	case "policies":
+		return PoliciesExp(o)
 	}
 	return nil, fmt.Errorf("experiments: %q has no CSV export", name)
 }

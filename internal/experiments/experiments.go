@@ -53,6 +53,14 @@ type Options struct {
 	// experiment sweeps its default rate grid.
 	FaultRate float64
 	FaultSeed int64
+	// Scheduler, Allocator, and Admission select registered sim pipeline
+	// policies by name for every configuration the experiments build
+	// (empty strings keep the policy-appropriate defaults). The CLIs wire
+	// their -sched/-alloc/-admit flags here; see sim.SchedulerNames,
+	// sim.AllocatorNames, and sim.AdmissionNames for the registry.
+	Scheduler string
+	Allocator string
+	Admission string
 }
 
 // ctx resolves the options' context, defaulting to background.
@@ -96,6 +104,9 @@ func (o Options) config(p sim.Policy, w workload.Composition) sim.Config {
 		cfg.Seed = o.Seed
 	}
 	cfg.DisablePlanCache = o.DisablePlanCache
+	cfg.Scheduler = o.Scheduler
+	cfg.Allocator = o.Allocator
+	cfg.Admission = o.Admission
 	return cfg
 }
 
@@ -267,6 +278,14 @@ func Registry() []Runner {
 		}},
 		{"sweep-pressure", "Extension: arrival-pressure robustness sweep", func(o Options, w io.Writer) error {
 			r, err := SweepPressure(o)
+			if err != nil {
+				return err
+			}
+			r.Render(w)
+			return nil
+		}},
+		{"policies", "Extension: pluggable pipeline scheduler×allocator sweep", func(o Options, w io.Writer) error {
+			r, err := PoliciesExp(o)
 			if err != nil {
 				return err
 			}

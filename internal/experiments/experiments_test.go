@@ -16,7 +16,8 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig1", "fig3", "fig4", "table1", "fig5", "fig6", "fig7",
 		"fig8", "fig9", "lac", "related", "cluster", "frag",
 		"sweep-slack", "sweep-pressure", "ablation-interval",
-		"engines", "seeds", "faults", "geometry", "ablation-partition", "ablation-sampling"}
+		"engines", "seeds", "faults", "geometry", "policies",
+		"ablation-partition", "ablation-sampling"}
 	for _, name := range want {
 		if _, ok := Lookup(name); !ok {
 			t.Errorf("experiment %q missing from registry", name)

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"cmpqos/internal/sim"
+)
+
+// updateGolden regenerates testdata/registry_golden.txt from the current
+// code. The checked-in file was produced by the pre-refactor engine, so
+// running the test without the flag proves the policy-pipeline
+// decomposition is byte-identical for the default policies.
+var updateGolden = flag.Bool("update-registry-golden", false,
+	"rewrite testdata/registry_golden.txt with the current outputs")
+
+const goldenPath = "testdata/registry_golden.txt"
+
+// goldenSkip lists registry entries excluded from the golden sweep.
+// (Currently empty: every experiment, including the policies sweep, is
+// deterministic at default options.)
+var goldenSkip = map[string]bool{}
+
+// registryHashes renders every experiment (text, and CSV where
+// exported) with the given options and returns artifact-name -> sha256.
+func registryHashes(t *testing.T, o Options) map[string]string {
+	t.Helper()
+	hashes := map[string]string{}
+	for _, r := range Registry() {
+		if goldenSkip[r.Name] {
+			continue
+		}
+		var buf bytes.Buffer
+		if err := r.Run(o, &buf); err != nil {
+			t.Fatalf("%s: %v", r.Name, err)
+		}
+		sum := sha256.Sum256(buf.Bytes())
+		hashes[r.Name] = hex.EncodeToString(sum[:])
+		if tab, err := CSVResult(r.Name, o); err == nil {
+			var cb bytes.Buffer
+			if err := WriteCSV(&cb, tab); err != nil {
+				t.Fatalf("%s csv: %v", r.Name, err)
+			}
+			csum := sha256.Sum256(cb.Bytes())
+			hashes[r.Name+".csv"] = hex.EncodeToString(csum[:])
+		}
+	}
+	return hashes
+}
+
+func renderHashes(h map[string]string) []byte {
+	names := make([]string, 0, len(h))
+	for n := range h {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		fmt.Fprintf(&b, "%s  %s\n", h[n], n)
+	}
+	return []byte(b.String())
+}
+
+func parseGolden(t *testing.T, data []byte) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	for ln, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("golden line %d malformed: %q", ln+1, line)
+		}
+		out[fields[1]] = fields[0]
+	}
+	return out
+}
+
+// TestRegistryGolden runs the full experiment registry with the default
+// policy combination and asserts every rendered table and CSV is
+// byte-identical to the checked-in pre-refactor hashes, at workers 1
+// and 4. The run cache is shared across the two passes (a memoized
+// report renders identically by construction; what this test pins is
+// the simulation output itself).
+func TestRegistryGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-registry sweep; skipped in -short")
+	}
+	cache := sim.NewRunCache()
+	got := registryHashes(t, Options{Workers: 1, Cache: cache})
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, renderHashes(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d artifacts)", goldenPath, len(got))
+		return
+	}
+
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update-registry-golden): %v", err)
+	}
+	want := parseGolden(t, data)
+	check := func(t *testing.T, got map[string]string) {
+		t.Helper()
+		for name, h := range want {
+			if goldenSkip[name] || goldenSkip[strings.TrimSuffix(name, ".csv")] {
+				continue
+			}
+			g, ok := got[name]
+			if !ok {
+				t.Errorf("%s: missing from current registry", name)
+				continue
+			}
+			if g != h {
+				t.Errorf("%s: output changed: got %s want %s", name, g, h)
+			}
+		}
+		for name := range got {
+			if _, ok := want[name]; !ok {
+				t.Errorf("%s: not in golden; regenerate with -update-registry-golden", name)
+			}
+		}
+	}
+	check(t, got)
+
+	t.Run("workers4", func(t *testing.T) {
+		check(t, registryHashes(t, Options{Workers: 4, Cache: cache}))
+	})
+}

@@ -61,6 +61,7 @@ func WithAutoDowngradeMinSlack(frac float64) LACOption {
 // are accepted whenever spare, unreserved capacity exists for them now.
 type LAC struct {
 	timeline      *Timeline
+	place         AdmissionPolicy
 	autoDowngrade bool
 	minAutoSlack  float64
 	oppPerCore    int
@@ -83,6 +84,7 @@ type LAC struct {
 func NewLAC(capacity ResourceVector, opts ...LACOption) *LAC {
 	l := &LAC{
 		timeline:         NewTimeline(capacity),
+		place:            EarliestFit{},
 		oppPerCore:       4,
 		resByJob:         make(map[int][]int),
 		probeBaseCycles:  2000,
@@ -195,26 +197,37 @@ func (l *LAC) decide(req Request, commit bool) Decision {
 				return reject("qos: no timeslot for auto-downgraded job")
 			}
 		}
-		return l.reserveEarliest(req, vec, rum.MaxWallClock, rum.Deadline, commit)
+		return l.reserveSlot(req, vec, rum.MaxWallClock, rum.Deadline, commit)
 
 	case KindElastic:
 		dur := req.Mode.ReservationLength(rum.MaxWallClock)
 		if dur == 0 {
 			return reject("qos: elastic mode requires a timeslot resource")
 		}
-		return l.reserveEarliest(req, vec, dur, rum.Deadline, commit)
+		return l.reserveSlot(req, vec, dur, rum.Deadline, commit)
 	}
 	return reject(fmt.Sprintf("qos: unknown mode %v", req.Mode))
 }
 
-// reserveEarliest places an earliest-fit reservation. Jobs without a
-// timeslot resource (tw == 0) hold resources forever: the reservation is
-// made effectively unbounded (§3.2).
-func (l *LAC) reserveEarliest(req Request, vec ResourceVector, dur, deadline int64, commit bool) Decision {
+// reserveSlot places a reservation through the LAC's placement policy
+// (earliest-fit under the default FCFS policy). Jobs without a timeslot
+// resource (tw == 0) hold resources forever: the reservation is made
+// effectively unbounded (§3.2).
+func (l *LAC) reserveSlot(req Request, vec ResourceVector, dur, deadline int64, commit bool) Decision {
 	if dur == 0 {
 		dur = foreverCycles
 	}
-	start, ok := l.timeline.EarliestFit(vec, req.Arrival, dur, deadline)
+	// Devirtualize the default policy: admission probes hit this path
+	// hundreds of times per tw window, and the concrete EarliestFit call
+	// inlines down to Timeline.EarliestFit where the interface dispatch
+	// does not.
+	var start int64
+	var ok bool
+	if _, fcfs := l.place.(EarliestFit); fcfs {
+		start, ok = l.timeline.EarliestFit(vec, req.Arrival, dur, deadline)
+	} else {
+		start, ok = l.place.Place(l.timeline, vec, req.Arrival, dur, deadline)
+	}
 	if !ok {
 		if commit {
 			l.rejects++

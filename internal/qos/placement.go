@@ -1,0 +1,62 @@
+package qos
+
+// AdmissionPolicy selects how an admission controller places reserved
+// timeslots on its timeline. The controller owns everything else about
+// admission — validation, convertibility, capacity checks, occupancy
+// accounting, the auto-downgrade ladder — and delegates only the
+// placement question: "where does a dur-cycle reservation of vec go,
+// between arrival and deadline?". Implementations must be pure
+// functions of the timeline state so admission decisions stay
+// deterministic and replayable.
+type AdmissionPolicy interface {
+	// Name identifies the policy in registries and reports.
+	Name() string
+	// Place finds a feasible start for a dur-cycle reservation of vec no
+	// earlier than arrival and ending by deadline (deadline 0 means
+	// unbounded). It must not mutate the timeline.
+	Place(tl *Timeline, vec ResourceVector, arrival, dur, deadline int64) (start int64, ok bool)
+}
+
+// EarliestFit is the paper's FCFS placement (§5): the reservation goes
+// into the first feasible slot, so accepted jobs start as soon as the
+// timeline allows. This is the default admission policy.
+type EarliestFit struct{}
+
+// Name implements AdmissionPolicy.
+func (EarliestFit) Name() string { return "fcfs" }
+
+// Place implements AdmissionPolicy via Timeline.EarliestFit.
+func (EarliestFit) Place(tl *Timeline, vec ResourceVector, arrival, dur, deadline int64) (int64, bool) {
+	return tl.EarliestFit(vec, arrival, dur, deadline)
+}
+
+// LatestFit is the procrastinating placement: the reservation goes into
+// the last feasible slot before the deadline, keeping the near-term
+// timeline clear for tighter future arrivals (the same mechanism the
+// §3.4 automatic downgrade uses for its reserved tail, applied to every
+// reserved job). Jobs without a deadline fall back to earliest-fit —
+// there is no "latest" slot on an unbounded horizon.
+type LatestFit struct{}
+
+// Name implements AdmissionPolicy.
+func (LatestFit) Name() string { return "latest" }
+
+// Place implements AdmissionPolicy via Timeline.LatestFit.
+func (LatestFit) Place(tl *Timeline, vec ResourceVector, arrival, dur, deadline int64) (int64, bool) {
+	if deadline == 0 {
+		return tl.EarliestFit(vec, arrival, dur, deadline)
+	}
+	return tl.LatestFit(vec, arrival, dur, deadline)
+}
+
+// WithPlacement selects the LAC's reserved-timeslot placement policy
+// (default EarliestFit). The automatic-downgrade path always places
+// latest-fit regardless — running opportunistically until a latest-fit
+// reserved tail is the definition of the downgrade (§3.4).
+func WithPlacement(p AdmissionPolicy) LACOption {
+	return func(l *LAC) {
+		if p != nil {
+			l.place = p
+		}
+	}
+}

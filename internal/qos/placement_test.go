@@ -1,0 +1,65 @@
+package qos
+
+import "testing"
+
+// TestPlacementPolicies pins the two registered placement behaviours on
+// the same occupied timeline: earliest-fit starts as soon as capacity
+// allows, latest-fit procrastinates to the last slot before the
+// deadline, and both refuse an infeasible window.
+func TestPlacementPolicies(t *testing.T) {
+	vec := ResourceVector{Cores: 1, CacheWays: 8}
+	mk := func() *Timeline {
+		tl := NewTimeline(ResourceVector{Cores: 4, CacheWays: 16})
+		// Occupy [0,100) heavily enough that an 8-way request can't fit.
+		tl.Reserve(1, ResourceVector{Cores: 4, CacheWays: 12}, 0, 100)
+		return tl
+	}
+
+	tl := mk()
+	start, ok := EarliestFit{}.Place(tl, vec, 0, 50, 1000)
+	if !ok || start != 100 {
+		t.Fatalf("EarliestFit.Place = (%d,%v), want (100,true)", start, ok)
+	}
+	start, ok = LatestFit{}.Place(tl, vec, 0, 50, 1000)
+	if !ok || start != 950 {
+		t.Fatalf("LatestFit.Place = (%d,%v), want (950,true)", start, ok)
+	}
+	// No deadline: latest-fit degenerates to earliest-fit (no "latest"
+	// slot exists on an unbounded horizon).
+	start, ok = LatestFit{}.Place(tl, vec, 0, 50, 0)
+	if !ok || start != 100 {
+		t.Fatalf("LatestFit.Place(no deadline) = (%d,%v), want (100,true)", start, ok)
+	}
+	// Window too tight for either: the deadline falls inside the blocked
+	// prefix.
+	if _, ok := (EarliestFit{}).Place(tl, vec, 0, 50, 90); ok {
+		t.Fatal("EarliestFit accepted an infeasible window")
+	}
+	if _, ok := (LatestFit{}).Place(tl, vec, 0, 50, 90); ok {
+		t.Fatal("LatestFit accepted an infeasible window")
+	}
+	if (EarliestFit{}).Name() != "fcfs" || (LatestFit{}).Name() != "latest" {
+		t.Fatal("placement policy names changed")
+	}
+}
+
+// TestLACPlacementOption checks WithPlacement reaches admission: under
+// latest-fit the first reserved job of an empty LAC starts at the tail
+// of its deadline window instead of its arrival.
+func TestLACPlacementOption(t *testing.T) {
+	rum := RUM{
+		Resources:    ResourceVector{Cores: 1, CacheWays: 7},
+		MaxWallClock: 1000,
+		Deadline:     5000,
+	}
+	req := Request{JobID: 1, Target: &rum, Mode: Strict(), Arrival: 0}
+
+	fcfs := NewLAC(ResourceVector{Cores: 4, CacheWays: 16})
+	if d := fcfs.Admit(req); !d.Accepted || d.Start != 0 {
+		t.Fatalf("fcfs Admit = %+v, want accepted at 0", d)
+	}
+	latest := NewLAC(ResourceVector{Cores: 4, CacheWays: 16}, WithPlacement(LatestFit{}))
+	if d := latest.Admit(req); !d.Accepted || d.Start != 4000 {
+		t.Fatalf("latest Admit = %+v, want accepted at 4000", d)
+	}
+}

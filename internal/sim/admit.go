@@ -1,0 +1,368 @@
+// Admission stage of the policy pipeline: arrival processing, the
+// single probe/submit/renegotiate code path against the LAC, and the
+// tw budgeting that turns job templates into RUM requests. The actual
+// timeslot placement strategy is the registered qos.AdmissionPolicy
+// the runner's LAC was built with (fcfs earliest-fit by default).
+package sim
+
+import (
+	"fmt"
+
+	"cmpqos/internal/cache"
+	"cmpqos/internal/qos"
+	"cmpqos/internal/trace"
+	"cmpqos/internal/workload"
+)
+
+func init() {
+	RegisterAdmission("fcfs", func(Config) qos.AdmissionPolicy { return qos.EarliestFit{} })
+	RegisterAdmission("latest", func(Config) qos.AdmissionPolicy { return qos.LatestFit{} })
+}
+
+// processArrivals submits every job arriving before epochEnd, until the
+// workload's accept target is reached (Poisson mode) or the script is
+// exhausted (scripted mode).
+func (r *Runner) processArrivals(epochEnd int64) {
+	if len(r.cfg.Script) > 0 {
+		for r.scriptPos < len(r.cfg.Script) && r.cfg.Script[r.scriptPos].Arrival < epochEnd {
+			sj := r.cfg.Script[r.scriptPos]
+			r.scriptPos++
+			ta := sj.Arrival
+			if ta < r.now {
+				ta = r.now
+			}
+			dl := r.dlmix.Next()
+			save := r.cfg.DeadlineFactor
+			saveInstr := r.cfg.JobInstr
+			if sj.DeadlineFactor > 0 {
+				r.cfg.DeadlineFactor = sj.DeadlineFactor
+			}
+			if sj.Instr > 0 {
+				r.cfg.JobInstr = sj.Instr
+			}
+			r.submitTemplate(sj.Template, dl, ta)
+			r.cfg.DeadlineFactor = save
+			r.cfg.JobInstr = saveInstr
+		}
+		return
+	}
+	for r.nextArr < epochEnd && len(r.accepted) < r.cfg.AcceptTarget {
+		ta := r.nextArr
+		if ta < r.now {
+			ta = r.now
+		}
+		r.submit(ta)
+		r.nextArr = r.arrivals.Next()
+	}
+}
+
+func (r *Runner) submit(ta int64) {
+	// The workload composition describes the *accepted* jobs (Table 2's
+	// percentages and Table 3's mixes are over the ten-job workload):
+	// slot k of the composition is retried on every submission until a
+	// job is accepted into it.
+	tmpl := r.cfg.Workload.Jobs[len(r.accepted)%len(r.cfg.Workload.Jobs)]
+	dl := r.dlmix.Next()
+	r.submitTemplate(tmpl, dl, ta)
+}
+
+// admitRequest fills the runner's scratch RUM for one admission attempt
+// and returns the request targeting it. Every probe, submission, and
+// fault-path renegotiation builds its request here — the one admission
+// code path — so the ~400 probes per tw window never box a fresh RUM
+// into the Target interface (the LAC copies what it needs and never
+// retains the pointer).
+func (r *Runner) admitRequest(id, ways int, tw, deadline, arrival int64, mode qos.Mode) qos.Request {
+	r.rum = qos.RUM{
+		Resources:    qos.ResourceVector{Cores: 1, CacheWays: ways},
+		MaxWallClock: tw,
+		Deadline:     deadline,
+	}
+	return qos.Request{JobID: id, Target: &r.rum, Mode: mode, Arrival: arrival}
+}
+
+// deadlineFor derives a template's absolute deadline from its class
+// (or the configured override).
+func (r *Runner) deadlineFor(dl workload.DeadlineClass, ta, tw int64) int64 {
+	factor := dl.Factor()
+	if r.cfg.DeadlineFactor > 0 {
+		factor = r.cfg.DeadlineFactor
+	}
+	return ta + int64(factor*float64(tw))
+}
+
+// probeTemplate asks this node's LAC, without side effects, whether it
+// could accept the job and when it would start. The GAC layer of the
+// cluster simulation uses this.
+func (r *Runner) probeTemplate(tmpl workload.JobTemplate, dl workload.DeadlineClass, ta int64) (start int64, ok bool) {
+	if r.lac == nil {
+		return ta, true
+	}
+	tw := r.twFor(twKey(tmpl))
+	d := r.lac.Probe(r.admitRequest(-1, r.reqWays, tw, r.deadlineFor(dl, ta, tw), ta, r.modeFor(tmpl.Hint)))
+	return d.Start, d.Accepted
+}
+
+// submitTemplate runs one admission attempt and returns whether the job
+// was accepted. Under the paper's arrival pressure (4×128 probes per tw)
+// rejections outnumber acceptances ~80:1, so the rejection path records
+// its two events and touches nothing else: the Job object, its resolved
+// profile, and the deadline bookkeeping are built only after acceptance.
+func (r *Runner) submitTemplate(tmpl workload.JobTemplate, dl workload.DeadlineClass, ta int64) bool {
+	r.submitIdx++
+	id := r.submitIdx
+	key := twKey(tmpl)
+	tw := r.twFor(key)
+	if r.cfg.JobInstr != r.twInstr {
+		// Scripted per-job instruction override: tw scales with length.
+		tw = int64(float64(tw) * float64(r.cfg.JobInstr) / float64(r.twInstr))
+	}
+	td := r.deadlineFor(dl, ta, tw)
+	mode := r.modeFor(tmpl.Hint)
+	r.emit(trace.Event{Cycle: ta, JobID: id, Kind: trace.Submitted})
+
+	var dec qos.Decision
+	if !r.cfg.Policy.noAdmission() {
+		dec = r.lac.Admit(r.admitRequest(id, r.reqWays, tw, td, ta, mode))
+		if !dec.Accepted {
+			r.rejected++
+			r.emit(trace.Event{Cycle: ta, JobID: id, Kind: trace.Rejected})
+			return false
+		}
+	}
+
+	instr := r.cfg.JobInstr
+	if r.cfg.OverrunFactor > 1 && len(r.accepted) == r.cfg.OverrunJobSlot {
+		// Failure injection: this job's user underspecified tw.
+		instr = int64(float64(instr) * r.cfg.OverrunFactor)
+	}
+	j := &Job{
+		ID:           id,
+		Profile:      r.resolveTemplate(key, tmpl),
+		Hint:         tmpl.Hint,
+		Mode:         mode,
+		DlClass:      dl,
+		Arrival:      ta,
+		TW:           tw,
+		Deadline:     td,
+		InstrTotal:   instr,
+		Core:         -1,
+		WaysReserved: r.reqWays,
+	}
+	r.planOK = false // an accepted arrival changes the epoch plan
+
+	if r.cfg.Policy.noAdmission() {
+		// No admission control: every job is accepted and handed to the
+		// OS scheduler immediately.
+		j.State = StateWaiting
+		j.StartAt = ta
+		r.accepted = append(r.accepted, j)
+		r.emit(trace.Event{Cycle: ta, JobID: id, Kind: trace.Accepted, Detail: ta})
+		return true
+	}
+
+	j.ReservationID = dec.ReservationID
+	switch {
+	case dec.AutoDowngraded:
+		j.AutoDowngraded = true
+		j.SwitchBack = dec.SwitchBack
+		j.StartAt = ta // runs opportunistically right away
+	case j.Mode.Reserves():
+		j.StartAt = dec.Start
+	default:
+		j.StartAt = ta
+	}
+	j.State = StateWaiting
+	r.accepted = append(r.accepted, j)
+	r.emit(trace.Event{Cycle: ta, JobID: id, Kind: trace.Accepted, Detail: dec.Start})
+	return true
+}
+
+// negotiate renegotiates one job against the current reservation
+// timeline at progressively narrower widths, the shared ladder of the
+// fault-refit path (§3-style degraded renegotiation): plain admission
+// first — whatever placement the LAC's admission policy makes — then
+// the forced §3.4 latest-fit auto-downgrade over the same widths. Each
+// width's tw budget is rescaled to that width's modeled CPI
+// (refitTW), so the slower narrow run is honestly declared. It returns
+// the first accepted decision with its width and tw; the caller
+// terminates the job when nothing fits.
+func (r *Runner) negotiate(j *Job, maxWays int) (dec qos.Decision, ways int, tw int64) {
+	for ways = maxWays; ways >= 1; ways-- {
+		tw = r.refitTW(j, ways)
+		dec = r.lac.Admit(r.admitRequest(j.ID, ways, tw, j.Deadline, r.now, j.Mode))
+		if dec.Accepted {
+			return dec, ways, tw
+		}
+	}
+	if j.Mode.Kind != qos.KindOpportunistic {
+		for ways = maxWays; ways >= 1; ways-- {
+			tw = r.refitTW(j, ways)
+			dec = r.lac.AdmitAutoDowngrade(r.admitRequest(j.ID, ways, tw, j.Deadline, r.now, j.Mode))
+			if dec.Accepted {
+				return dec, ways, tw
+			}
+		}
+	}
+	return dec, 0, 0
+}
+
+// refitTW budgets the job's remaining instructions at the candidate
+// width, using the same CPI model the admission-time tw derivation
+// uses: a narrower slot runs at the profile's worse miss ratio, so the
+// declared wall-clock grows to match and the reservation stays honest.
+func (r *Runner) refitTW(j *Job, ways int) int64 {
+	p := j.Profile
+	mr := p.MissRatio(ways)
+	cpi := r.cfg.CPU.CPI(p.CPIL1Inf, p.L2APA,
+		p.L2APA*mr*p.MaxPhaseScale(), float64(r.cfg.Mem.BaseCycles))
+	tw := int64(float64(j.Remaining()) * cpi * r.cfg.TwMargin)
+	if tw < r.cfg.EpochCycles {
+		tw = r.cfg.EpochCycles
+	}
+	return tw
+}
+
+// buildTwTable fills the per-benchmark tw budgets: execution time at
+// the requested ways with an unloaded memory system, inflated by the
+// overspecification margin. The table engine reads the calibrated
+// curve; the trace engine profiles the benchmark through the real cache
+// first (the paper likewise derives requests from profiled behaviour).
+func (r *Runner) buildTwTable(cfg Config, reqWays int) {
+	twJobs := cfg.Workload.Jobs
+	for _, sj := range cfg.Script {
+		twJobs = append(twJobs[:len(twJobs):len(twJobs)], sj.Template)
+	}
+	for _, jt := range twJobs {
+		key := twKey(jt)
+		if _, ok := r.twByBench[key]; ok {
+			continue
+		}
+		p := resolveProfile(jt)
+		r.profByKey[key] = p
+		var mr float64
+		if cfg.Engine == EngineTrace && cfg.ModelL1 {
+			// Cold hierarchy profile: measure the post-L1 operating
+			// point this job length actually sees.
+			h2m, mrm := probeHierarchy(cfg, p, reqWays)
+			cpi := cfg.CPU.CPI(p.CPIL1Inf, h2m, h2m*mrm*p.MaxPhaseScale(), float64(cfg.Mem.BaseCycles))
+			tw := int64(float64(cfg.JobInstr) * cpi * cfg.TwMargin)
+			r.twByBench[key] = tw
+			if tw > r.refTW {
+				r.refTW = tw
+			}
+			continue
+		}
+		if cfg.Engine == EngineTrace {
+			// Cold-start profile over the job's own access count: short
+			// trace jobs pay a compulsory-miss fraction a steady-state
+			// probe would hide, and tw must cover it.
+			singleOwner := cfg.L2
+			singleOwner.Owners = 1
+			accesses := int(float64(cfg.JobInstr) * p.L2APA)
+			if accesses > 400_000 {
+				accesses = 400_000
+			}
+			if accesses < 20_000 {
+				accesses = 20_000
+			}
+			// Served from the memoized single-pass curve (bit-exact with
+			// the historical ProbeMissRatio replay): repeated Runner
+			// constructions across an experiment grid probe each
+			// (benchmark, geometry, window) once, not once per run.
+			mr = p.ProbeRatio(singleOwner, cfg.Seed, 0, reqWays, 0, accesses)
+		} else {
+			mr = p.MissRatio(reqWays)
+		}
+		// The maximum wall-clock request budgets the worst phase (§3.1's
+		// dynamic behaviour): calmer phases become internal fragmentation.
+		cpi := cfg.CPU.CPI(p.CPIL1Inf, p.L2APA, p.L2APA*mr*p.MaxPhaseScale(), float64(cfg.Mem.BaseCycles))
+		tw := int64(float64(cfg.JobInstr) * cpi * cfg.TwMargin)
+		r.twByBench[key] = tw
+		if tw > r.refTW {
+			r.refTW = tw
+		}
+	}
+}
+
+// probeHierarchy cold-measures a profile's post-L1 h2 and L2 miss ratio
+// over the job's own reference count, at the requested way allocation.
+func probeHierarchy(cfg Config, p workload.Profile, ways int) (h2, missRatio float64) {
+	l2 := cfg.L2
+	l2.Owners = 1
+	h := cache.NewHierarchy(1, cfg.L1, l2)
+	h.L2().SetTarget(0, ways)
+	h.L2().SetClass(0, cache.ClassReserved)
+	ms := p.NewMemStream(cfg.Seed, 0)
+	n := int(float64(cfg.JobInstr) * workload.MemRefsPerInstr)
+	if n > 1_000_000 {
+		n = 1_000_000
+	}
+	if n < 50_000 {
+		n = 50_000
+	}
+	for i := 0; i < n; i++ {
+		h.Access(0, ms.Next())
+	}
+	refs, l1m, l2m := h.Stats(0)
+	instr := float64(refs) / workload.MemRefsPerInstr
+	h2 = float64(l1m) / instr
+	if l1m > 0 {
+		missRatio = float64(l2m) / float64(l1m)
+	}
+	return h2, missRatio
+}
+
+// modeFor resolves a hint through the per-run memo table, falling back
+// to the Config method for out-of-range hints.
+func (r *Runner) modeFor(h workload.ModeHint) qos.Mode {
+	if h >= 0 && h < workload.NumModeHints {
+		return r.modeByHint[h]
+	}
+	return r.cfg.ModeForHint(h)
+}
+
+// twKey identifies a template's wall-clock budget: phased variants of
+// the same benchmark budget differently.
+func twKey(jt workload.JobTemplate) string {
+	if len(jt.Phases) == 0 {
+		return jt.Benchmark
+	}
+	return fmt.Sprintf("%s|%v", jt.Benchmark, jt.Phases)
+}
+
+// resolveProfile materializes a template's profile, applying any phase
+// override.
+func resolveProfile(jt workload.JobTemplate) workload.Profile {
+	p := workload.MustByName(jt.Benchmark)
+	if len(jt.Phases) > 0 {
+		p = p.WithPhases(jt.Phases...)
+	}
+	return p
+}
+
+// twFor returns the template's tw budget with a single-entry memo in
+// front of the map: successive arrivals overwhelmingly draw the same
+// benchmark, and comparing an interned key string is cheaper than
+// hashing it.
+func (r *Runner) twFor(key string) int64 {
+	if key == r.lastTWKey && key != "" {
+		return r.lastTW
+	}
+	tw := r.twByBench[key]
+	r.lastTWKey, r.lastTW = key, tw
+	return tw
+}
+
+// resolveTemplate returns the template's materialized profile, memoized
+// per tw key (the key pins benchmark and phase overrides, the only
+// inputs of resolveProfile). New pre-populates the map for every
+// template it budgets, so submissions never re-resolve.
+func (r *Runner) resolveTemplate(key string, tmpl workload.JobTemplate) workload.Profile {
+	if p, ok := r.profByKey[key]; ok {
+		return p
+	}
+	p := resolveProfile(tmpl)
+	r.profByKey[key] = p
+	return p
+}

@@ -1,0 +1,156 @@
+// The per-epoch execution advance: retiring instructions through the
+// active model, wall-clock budget enforcement, and the resource-stealing
+// interval clock. This is the consumer of the plan the scheduler and
+// allocator stages produce.
+package sim
+
+import (
+	"cmpqos/internal/mem"
+	"cmpqos/internal/qos"
+	"cmpqos/internal/steal"
+	"cmpqos/internal/trace"
+)
+
+// advanceAll retires one epoch of work on every core (processor-sharing
+// among the jobs pinned to a core), runs the stealing controller at its
+// repartitioning intervals, and completes jobs.
+func (r *Runner) advanceAll(byCore [][]*Job) {
+	epoch := r.cfg.EpochCycles
+	for core, jobs := range byCore {
+		switch {
+		case len(jobs) == 0:
+			continue
+		case len(jobs) > 1 && r.cfg.SchedQuantumCycles > 0:
+			r.advanceCoreRR(core, jobs, epoch)
+		default:
+			// Processor sharing: every job gets an equal slice of the
+			// epoch (the default idealization of a fair scheduler).
+			share := epoch / int64(len(jobs))
+			for _, j := range jobs {
+				r.advanceJob(j, share, int64(len(jobs)), 0)
+			}
+		}
+	}
+}
+
+// advanceJob retires up to shareCycles worth of work for one job.
+// sharers is the processor-sharing degree (wall-clock per consumed cycle);
+// offset positions the work inside the epoch for completion timestamps.
+func (r *Runner) advanceJob(j *Job, shareCycles, sharers, offset int64) {
+	epoch := r.cfg.EpochCycles
+	pen := r.penaltyFor(j)
+	cpi := r.model.cpiFor(j, pen)
+	instr := int64(float64(shareCycles) / cpi)
+	if instr > j.Remaining() {
+		instr = j.Remaining()
+	}
+	if instr <= 0 {
+		instr = 1
+	}
+	misses, writeBacks := r.model.advance(j, instr)
+	r.bus.AddMisses(misses)
+	r.bus.AddWriteBacks(writeBacks)
+	consumed := int64(float64(instr) * cpi)
+	j.InstrDone += instr
+	j.ActualCycles += consumed
+	if j.Stealer != nil {
+		// CPIF at the fixed original allocation, with the curve lookup
+		// memoized at Stealer creation (j.mpifRes).
+		j.BaselineCycles += float64(instr) * r.cfg.CPU.CPI(j.Profile.CPIL1Inf, j.Profile.L2APA, j.mpifRes, pen)
+	} else {
+		j.BaselineCycles += float64(instr) * cpi
+	}
+	r.runStealing(j, instr)
+	if r.cfg.EnforceWallClock && r.overBudget(j) {
+		j.Completed = r.now + offset + shareCycles
+		if j.Completed > r.now+epoch {
+			j.Completed = r.now + epoch
+		}
+		j.State = StateTerminated
+		j.Core = -1
+		r.doneN++
+		r.planOK = false // a termination frees a core and its ways
+		if r.lac != nil {
+			r.lac.Complete(j.ID, j.Mode, j.Completed)
+		}
+		r.emit(trace.Event{Cycle: j.Completed, JobID: j.ID, Kind: trace.Terminated})
+		return
+	}
+	if j.Remaining() == 0 {
+		wall := offset + consumed*sharers
+		if wall > epoch {
+			wall = epoch
+		}
+		j.Completed = r.now + wall
+		j.State = StateDone
+		j.Core = -1
+		r.doneN++
+		r.planOK = false // a completion frees a core and its ways
+		if r.lac != nil {
+			r.lac.Complete(j.ID, j.Mode, j.Completed)
+		}
+		r.emit(trace.Event{
+			Cycle: j.Completed, JobID: j.ID, Kind: trace.Completed,
+			DeadlineMet: j.MetDeadline(),
+		})
+	}
+}
+
+// penaltyFor returns the job's contention-adjusted memory penalty,
+// honoring the reserved-over-opportunistic bus prioritization when the
+// configuration enables it (§4.2 footnote 2).
+func (r *Runner) penaltyFor(j *Job) float64 {
+	// latFactor is exactly 1.0 outside latency-spike windows, and x*1.0
+	// is the IEEE-754 identity, so fault-free runs stay bit-identical.
+	if !r.cfg.PrioritizeBus || r.cfg.Policy.noAdmission() {
+		return r.bus.MissPenalty() * r.latFactor
+	}
+	if j.ReservedRunning(r.now) {
+		return r.bus.MissPenaltyFor(mem.PrioReserved) * r.latFactor
+	}
+	return r.bus.MissPenaltyFor(mem.PrioOpportunistic) * r.latFactor
+}
+
+// overBudget reports whether a reserved-running job has exhausted its
+// reserved wall-clock budget: tw for Strict, tw·(1+X) for Elastic, and
+// the deadline for auto-downgraded jobs (whose reservation ends there).
+func (r *Runner) overBudget(j *Job) bool {
+	if j.State != StateRunning || !j.ReservedRunning(r.now) {
+		return false
+	}
+	var budgetEnd int64
+	switch {
+	case j.AutoDowngraded:
+		budgetEnd = j.Deadline
+	case j.Mode.Kind == qos.KindElastic:
+		budgetEnd = j.Started + j.Mode.ReservationLength(j.TW)
+	default:
+		budgetEnd = j.Started + j.TW
+	}
+	return r.now >= budgetEnd
+}
+
+// runStealing advances the Elastic job's repartitioning interval clock
+// and applies the controller's actions.
+func (r *Runner) runStealing(j *Job, instr int64) {
+	if j.Stealer == nil || j.State != StateRunning {
+		return
+	}
+	j.instrLastSteal += instr
+	for j.instrLastSteal >= r.cfg.StealIntervalInstr {
+		j.instrLastSteal -= r.cfg.StealIntervalInstr
+		// Pause (without rolling back) while the bus is saturated (§4.2
+		// footnote 2) or the shadow baseline is not trustworthy yet.
+		pause := r.bus.Saturated() || !r.model.stealReady(j)
+		switch j.Stealer.OnInterval(j.MainMisses, j.ShadowMisses, pause) {
+		case steal.StealOne:
+			r.planWaysDirty = true // the donor's way count changed
+			r.emit(trace.Event{Cycle: r.now, JobID: j.ID, Kind: trace.StealWay,
+				Detail: int64(j.Stealer.Ways())})
+		case steal.Rollback:
+			r.planWaysDirty = true // stolen ways returned to the donor
+			r.emit(trace.Event{Cycle: r.now, JobID: j.ID, Kind: trace.RollbackSteal,
+				Detail: int64(j.Stealer.Ways())})
+		}
+	}
+}

@@ -198,6 +198,17 @@ type Config struct {
 	// scripted job has been resolved and all accepted ones finished.
 	// This is how jobfile-described workloads run end to end.
 	Script []ScriptedJob
+	// Scheduler, Allocator, and Admission select registered pipeline
+	// policies by name (see registry.go): the core-assignment scheduler,
+	// the L2 way allocator, and the reservation placement policy of the
+	// admission controller. Empty strings resolve to the
+	// Policy-appropriate defaults ("reserved"/"shared",
+	// "reserved"/"equal"/"ucp", "fcfs"), which reproduce the paper's
+	// behaviour bit for bit. The names are plain Config fields, so policy
+	// choices participate in the RunCache memo key automatically.
+	Scheduler string
+	Allocator string
+	Admission string
 	// DisablePlanCache forces the engine to rebuild the epoch plan
 	// (core/way assignment) every epoch instead of reusing it between QoS
 	// events. Results are bit-identical either way — the cache only skips
@@ -329,6 +340,15 @@ func (c Config) Validate() error {
 	}
 	if c.DeadlineFactor < 0 {
 		return fmt.Errorf("sim: negative deadline factor")
+	}
+	if _, ok := schedulers[c.schedulerName()]; !ok {
+		return fmt.Errorf("sim: unknown scheduler %q (have %v)", c.schedulerName(), SchedulerNames())
+	}
+	if _, ok := allocators[c.allocatorName()]; !ok {
+		return fmt.Errorf("sim: unknown allocator %q (have %v)", c.allocatorName(), AllocatorNames())
+	}
+	if _, ok := admissions[c.admissionName()]; !ok {
+		return fmt.Errorf("sim: unknown admission policy %q (have %v)", c.admissionName(), AdmissionNames())
 	}
 	for _, j := range c.Workload.Jobs {
 		if _, ok := workload.ByName(j.Benchmark); !ok {

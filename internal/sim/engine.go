@@ -4,22 +4,31 @@ import (
 	"context"
 	"fmt"
 
-	"cmpqos/internal/alloc"
-	"cmpqos/internal/cache"
 	"cmpqos/internal/mem"
 	"cmpqos/internal/qos"
-	"cmpqos/internal/steal"
 	"cmpqos/internal/trace"
 	"cmpqos/internal/workload"
 )
 
-// Runner executes one simulation configuration to completion.
+// Runner executes one simulation configuration to completion. The
+// epoch loop lives here; the policy decisions it sequences — core
+// assignment, way allocation, admission placement — are the registered
+// pipeline stages resolved at construction (registry.go), and every
+// consumer of the run observes it through the sink stream (sink.go).
 type Runner struct {
-	cfg   Config
-	lac   *qos.LAC
-	bus   *mem.Bus
-	rec   *trace.Recorder
-	model model
+	cfg      Config
+	lac      *qos.LAC
+	bus      *mem.Bus
+	rec      *trace.Recorder
+	model    model
+	sched    Scheduler
+	wayAlloc WayAllocator
+	// sinks holds AddSink observers only; the built-in consumers (rec,
+	// frag, seriesS) are concrete fields so emit and endEpoch reach them
+	// without dynamic dispatch on the hot path (see sink.go).
+	sinks   []Sink
+	frag    *fragSink
+	seriesS *seriesSink
 
 	accepted  []*Job
 	scriptPos int
@@ -37,20 +46,21 @@ type Runner struct {
 	refTW     int64
 	reqWays   int
 	external  bool // arrivals are injected by a ClusterRunner
-	series    []SeriesSample
 	epochIdx  int64
 	coreSched []coreSchedState
 
 	// Epoch-plan cache (§7.4): the paper's framework re-evaluates
 	// admission and partitioning only at QoS events, so between events the
-	// core/way plan built by assignCores/assignWays is reused verbatim and
-	// an epoch reduces to the linear advance. planOK is cleared by every
-	// invalidating event (accepted arrival, completion, termination);
-	// planWake is the first cycle at which a timed event (job start,
-	// switch-back) forces a rebuild regardless. Steal adjusts and
-	// rollbacks change only way counts — never job states or core
+	// core/way plan built by the scheduler and allocator is reused
+	// verbatim and an epoch reduces to the linear advance. planOK is
+	// cleared by every invalidating event (accepted arrival, completion,
+	// termination); planWake is the first cycle at which a timed event
+	// (job start, switch-back) forces a rebuild regardless. Steal adjusts
+	// and rollbacks change only way counts — never job states or core
 	// placement — so they set planWaysDirty instead, and the next epoch
-	// redoes just assignWays+buildPlan on the cached core assignment.
+	// redoes just the way split on the cached core assignment. Soundness
+	// rests on the registry contract that Assign/Allocate are
+	// deterministic pure functions of the runner's job/fault state.
 	planOK        bool
 	planWaysDirty bool
 	planWake      int64
@@ -66,16 +76,10 @@ type Runner struct {
 	// modeByHint memoizes Config.ModeForHint per hint: the mapping is
 	// fixed for a run, and recomputing it per arrival copies the whole
 	// Config (value receiver) on the hottest path.
-	modeByHint [workload.NumModeHints]qos.Mode
+	modeByHint    [workload.NumModeHints]qos.Mode
 	planIdleCores float64 // memoized fragDeltas of the plan's state
 	planIdleWays  float64
 	planInternal  float64
-
-	// Fragmentation accumulators, in resource-epochs (§3.4): idle cores,
-	// unallocated-and-unscavenged ways, and reserved-but-unneeded ways.
-	fragIdleCores float64
-	fragIdleWays  float64
-	fragInternal  float64
 
 	// Fault-injection state (internal/sim/fault.go). latFactor is 1.0
 	// whenever no spike is active, and multiplying a float64 by exactly
@@ -120,79 +124,35 @@ func New(cfg Config) (*Runner, error) {
 		twByBench: map[string]int64{},
 		profByKey: map[string]workload.Profile{},
 	}
+	var err error
+	if r.sched, err = newScheduler(cfg); err != nil {
+		return nil, err
+	}
+	if r.wayAlloc, err = newAllocator(cfg); err != nil {
+		return nil, err
+	}
+	admission, err := newAdmission(cfg)
+	if err != nil {
+		return nil, err
+	}
 	for h := workload.ModeHint(0); h < workload.NumModeHints; h++ {
 		r.modeByHint[h] = cfg.ModeForHint(h)
 	}
-	// tw per benchmark: execution time at the requested 7 ways with an
-	// unloaded memory system, inflated by the overspecification margin.
-	// The table engine reads the calibrated curve; the trace engine
-	// profiles the benchmark through the real cache first (the paper
-	// likewise derives requests from profiled behaviour).
 	reqWays := cfg.RequestWays
 	if reqWays == 0 {
 		reqWays = qos.PresetMedium().CacheWays
 	}
 	r.reqWays = reqWays
-	twJobs := cfg.Workload.Jobs
-	for _, sj := range cfg.Script {
-		twJobs = append(twJobs[:len(twJobs):len(twJobs)], sj.Template)
-	}
-	for _, jt := range twJobs {
-		key := twKey(jt)
-		if _, ok := r.twByBench[key]; ok {
-			continue
-		}
-		p := resolveProfile(jt)
-		r.profByKey[key] = p
-		var mr float64
-		if cfg.Engine == EngineTrace && cfg.ModelL1 {
-			// Cold hierarchy profile: measure the post-L1 operating
-			// point this job length actually sees.
-			h2m, mrm := probeHierarchy(cfg, p, reqWays)
-			cpi := cfg.CPU.CPI(p.CPIL1Inf, h2m, h2m*mrm*p.MaxPhaseScale(), float64(cfg.Mem.BaseCycles))
-			tw := int64(float64(cfg.JobInstr) * cpi * cfg.TwMargin)
-			r.twByBench[key] = tw
-			if tw > r.refTW {
-				r.refTW = tw
-			}
-			continue
-		}
-		if cfg.Engine == EngineTrace {
-			// Cold-start profile over the job's own access count: short
-			// trace jobs pay a compulsory-miss fraction a steady-state
-			// probe would hide, and tw must cover it.
-			singleOwner := cfg.L2
-			singleOwner.Owners = 1
-			accesses := int(float64(cfg.JobInstr) * p.L2APA)
-			if accesses > 400_000 {
-				accesses = 400_000
-			}
-			if accesses < 20_000 {
-				accesses = 20_000
-			}
-			// Served from the memoized single-pass curve (bit-exact with
-			// the historical ProbeMissRatio replay): repeated Runner
-			// constructions across an experiment grid probe each
-			// (benchmark, geometry, window) once, not once per run.
-			mr = p.ProbeRatio(singleOwner, cfg.Seed, 0, reqWays, 0, accesses)
-		} else {
-			mr = p.MissRatio(reqWays)
-		}
-		// The maximum wall-clock request budgets the worst phase (§3.1's
-		// dynamic behaviour): calmer phases become internal fragmentation.
-		cpi := cfg.CPU.CPI(p.CPIL1Inf, p.L2APA, p.L2APA*mr*p.MaxPhaseScale(), float64(cfg.Mem.BaseCycles))
-		tw := int64(float64(cfg.JobInstr) * cpi * cfg.TwMargin)
-		r.twByBench[key] = tw
-		if tw > r.refTW {
-			r.refTW = tw
-		}
-	}
+	r.buildTwTable(cfg, reqWays)
 	r.twInstr = cfg.JobInstr
 	r.arrivals = workload.NewArrivals(cfg.Seed+1, cfg.ProbesPerTw, r.refTW)
 	r.nextArr = r.arrivals.Next()
 
 	if !cfg.Policy.noAdmission() {
-		opts := []qos.LACOption{qos.WithOpportunisticPerCore(cfg.OppPerCore)}
+		opts := []qos.LACOption{
+			qos.WithOpportunisticPerCore(cfg.OppPerCore),
+			qos.WithPlacement(admission),
+		}
 		if cfg.Policy == AllStrictAutoDown {
 			opts = append(opts, qos.WithAutoDowngrade(),
 				qos.WithAutoDowngradeMinSlack(cfg.AutoDownMinSlack))
@@ -212,11 +172,41 @@ func New(cfg Config) (*Runner, error) {
 	r.faultPts = buildFaultPoints(cfg.Faults)
 	r.coreDown = make([]bool, cfg.Cores)
 	r.latFactor = 1.0
+	r.frag = &fragSink{}
+	if cfg.RecordSeries {
+		r.seriesS = newSeriesSink(r)
+	}
 	return r, nil
 }
 
 // Recorder exposes the event recorder (populated during Run).
 func (r *Runner) Recorder() *trace.Recorder { return r.rec }
+
+// Config returns the run's configuration. Pipeline implementations
+// registered from outside this package read geometry and policy
+// parameters through it.
+func (r *Runner) Config() Config { return r.cfg }
+
+// Now returns the current simulation cycle (the start of the epoch
+// being planned or advanced).
+func (r *Runner) Now() int64 { return r.now }
+
+// Jobs returns the accepted jobs in acceptance order, including
+// finished ones. Pipeline implementations must not reorder or retain
+// the slice.
+func (r *Runner) Jobs() []*Job { return r.accepted }
+
+// CoreFailed reports whether core c is currently failed by fault
+// injection; schedulers must not place jobs on failed cores.
+func (r *Runner) CoreFailed(c int) bool { return r.coreDown[c] }
+
+// FaultedWays returns how many L2 ways are currently dark from fault
+// injection; allocators must partition Config().L2.Ways minus this.
+func (r *Runner) FaultedWays() int { return r.waysDown }
+
+// JobPlaced notifies the execution model that a job landed on a new
+// core. Schedulers must call it for every placement they make.
+func (r *Runner) JobPlaced(j *Job) { r.model.jobStarted(j) }
 
 // Run executes the simulation and returns its report.
 func (r *Runner) Run() (*Report, error) {
@@ -243,12 +233,14 @@ func (r *Runner) RunContext(ctx context.Context) (*Report, error) {
 	return r.report(), nil
 }
 
-// step advances the simulation by one epoch. In the steady state — no
-// QoS event since the last plan build, and no timed event (job start,
-// switch-back) due yet — the epoch reuses the cached core/way plan and
-// skips straight to the advance; the reused plan is byte-for-byte the
-// one a full rebuild would produce, because every input of
-// assignCores/assignWays is unchanged between events.
+// step advances the simulation by one epoch: faults, arrivals, the
+// scheduler and allocator stages (or the cached plan), the model
+// advance, and the end-of-epoch sink notification. In the steady state
+// — no QoS event since the last plan build, and no timed event (job
+// start, switch-back) due yet — the epoch reuses the cached core/way
+// plan and skips straight to the advance; the reused plan is
+// byte-for-byte the one a full rebuild would produce, because every
+// input of Assign/Allocate is unchanged between events.
 func (r *Runner) step() {
 	epochEnd := r.now + r.cfg.EpochCycles
 	r.applyFaults(epochEnd)
@@ -263,14 +255,14 @@ func (r *Runner) step() {
 		// A steal adjust or rollback moved way counts but left every job
 		// state and core placement untouched: redo only the way split on
 		// the cached core assignment.
-		r.assignWays(byCore)
+		r.wayAlloc.Allocate(r, byCore)
 		r.planWaysDirty = false
 		r.buildPlan(byCore)
 	default:
 		r.startJobs()
 		r.switchBacks()
-		byCore = r.assignCores()
-		r.assignWays(byCore)
+		byCore = r.sched.Assign(r)
+		r.wayAlloc.Allocate(r, byCore)
 		r.planWaysDirty = false
 		r.buildPlan(byCore)
 	}
@@ -279,17 +271,23 @@ func (r *Runner) step() {
 	// table engine's applyPartition is a no-op.
 	r.model.applyPartition(byCore, r.now)
 	r.advanceAll(byCore)
+	var idleCores, idleWays, internal float64
 	if r.planOK {
 		// No event fired during the advance, so the post-advance state is
 		// exactly the plan's state and the memoized deltas apply verbatim.
-		r.fragIdleCores += r.planIdleCores
-		r.fragIdleWays += r.planIdleWays
-		r.fragInternal += r.planInternal
+		idleCores, idleWays, internal = r.planIdleCores, r.planIdleWays, r.planInternal
 	} else {
-		r.accountFragmentation(byCore)
+		idleCores, idleWays, internal = r.fragDeltas(byCore)
 	}
 	r.bus.Roll(r.cfg.EpochCycles)
-	r.sample()
+	st := EpochState{
+		Cycle: r.now, Epoch: r.epochIdx,
+		IdleCores: idleCores, IdleWays: idleWays, InternalWays: internal,
+	}
+	r.frag.EpochEnd(st)
+	if r.seriesS != nil || len(r.sinks) != 0 {
+		r.endEpochSlow(st)
+	}
 	r.now = epochEnd
 	r.epochIdx++
 }
@@ -320,113 +318,8 @@ func (r *Runner) buildPlan(byCore [][]*Job) {
 	r.planOK = true
 }
 
-// accountFragmentation accrues the epoch's idle and wasted resources.
-func (r *Runner) accountFragmentation(byCore [][]*Job) {
-	idleCores, idleWays, internal := r.fragDeltas(byCore)
-	r.fragIdleCores += idleCores
-	r.fragIdleWays += idleWays
-	r.fragInternal += internal
-}
-
-// fragDeltas computes one epoch's fragmentation contributions (§3.4).
-// Internal fragmentation is a *reservation* concept: it counts
-// reserved-but-unneeded capacity, so only cores running reserved jobs
-// contribute, and EqualPart — which reserves nothing — reports zero by
-// definition. A job's "useful" ways are where its miss curve's marginal
-// benefit drops below 1% of its 1-way miss ratio; reserving beyond that
-// is the capacity resource stealing recovers.
-func (r *Runner) fragDeltas(byCore [][]*Job) (idleCores, idleWays, internal float64) {
-	busyCores := 0
-	usedWays := 0.0
-	for _, jobs := range byCore {
-		if len(jobs) == 0 {
-			continue
-		}
-		busyCores++
-		// Jobs timesharing a core share one partition: count the core's
-		// allocation once (the widest job's share).
-		coreWays, coreUseful := 0.0, 0.0
-		reserved := false
-		for _, j := range jobs {
-			if j.WaysF > coreWays {
-				coreWays = j.WaysF
-			}
-			if j.usefulW == 0 {
-				// Lazily memoized: the profile is fixed at submission and
-				// usefulWays is never below 1, so 0 means "not computed".
-				j.usefulW = usefulWays(j.Profile)
-			}
-			if j.usefulW > coreUseful {
-				coreUseful = j.usefulW
-			}
-			if j.ReservedRunning(r.now) {
-				reserved = true
-			}
-		}
-		usedWays += coreWays
-		if reserved && !r.cfg.Policy.noAdmission() && coreWays > coreUseful {
-			internal += coreWays - coreUseful
-		}
-	}
-	// Faulted resources are lost capacity, not fragmentation: they are
-	// excluded from both idle pools.
-	idleCores = float64(r.cfg.Cores - r.downCores - busyCores)
-	if idleCores < 0 {
-		idleCores = 0
-	}
-	if idle := float64(r.cfg.L2.Ways-r.waysDown) - usedWays; idle > 0 {
-		idleWays = idle
-	}
-	return idleCores, idleWays, internal
-}
-
-// usefulWays is the smallest allocation beyond which the profile's miss
-// curve is nearly flat.
-func usefulWays(p workload.Profile) float64 {
-	eps := p.MissRatio(1) * 0.01
-	for w := 1; w < 16; w++ {
-		if p.MissRatio(w)-p.MissRatio(w+1) < eps {
-			return float64(w)
-		}
-	}
-	return 16
-}
-
-// sample records one telemetry point when series recording is enabled.
-func (r *Runner) sample() {
-	if !r.cfg.RecordSeries {
-		return
-	}
-	stride := int64(r.cfg.SeriesStride)
-	if stride <= 0 {
-		stride = 16
-	}
-	if r.epochIdx%stride != 0 {
-		return
-	}
-	if r.series == nil {
-		// Sized for a typical run (samples every `stride` epochs); longer
-		// runs grow from here instead of from a 1-element slice.
-		r.series = make([]SeriesSample, 0, 128)
-	}
-	s := SeriesSample{Cycle: r.now, BusUtil: r.bus.Utilization()}
-	for _, j := range r.accepted {
-		switch j.State {
-		case StateRunning:
-			s.Running++
-			if j.ReservedRunning(r.now) {
-				s.ReservedWays += int(j.WaysF)
-			} else {
-				s.OppJobs++
-			}
-		case StateWaiting:
-			s.Waiting++
-		}
-	}
-	r.series = append(r.series, s)
-}
-
-// idle reports whether every accepted job has finished.
+// idle reports whether every accepted job has finished (the cluster
+// runner's per-node quiescence test).
 func (r *Runner) idle() bool { return r.doneCount() == len(r.accepted) }
 
 // doneCount returns how many accepted jobs have finished (done or
@@ -439,701 +332,4 @@ func (r *Runner) done() bool {
 		return r.scriptPos == len(r.cfg.Script) && r.doneCount() == len(r.accepted)
 	}
 	return len(r.accepted) >= r.cfg.AcceptTarget && r.doneCount() == len(r.accepted)
-}
-
-// processArrivals submits every job arriving before epochEnd, until the
-// workload's accept target is reached (Poisson mode) or the script is
-// exhausted (scripted mode).
-func (r *Runner) processArrivals(epochEnd int64) {
-	if len(r.cfg.Script) > 0 {
-		for r.scriptPos < len(r.cfg.Script) && r.cfg.Script[r.scriptPos].Arrival < epochEnd {
-			sj := r.cfg.Script[r.scriptPos]
-			r.scriptPos++
-			ta := sj.Arrival
-			if ta < r.now {
-				ta = r.now
-			}
-			dl := r.dlmix.Next()
-			save := r.cfg.DeadlineFactor
-			saveInstr := r.cfg.JobInstr
-			if sj.DeadlineFactor > 0 {
-				r.cfg.DeadlineFactor = sj.DeadlineFactor
-			}
-			if sj.Instr > 0 {
-				r.cfg.JobInstr = sj.Instr
-			}
-			r.submitTemplate(sj.Template, dl, ta)
-			r.cfg.DeadlineFactor = save
-			r.cfg.JobInstr = saveInstr
-		}
-		return
-	}
-	for r.nextArr < epochEnd && len(r.accepted) < r.cfg.AcceptTarget {
-		ta := r.nextArr
-		if ta < r.now {
-			ta = r.now
-		}
-		r.submit(ta)
-		r.nextArr = r.arrivals.Next()
-	}
-}
-
-func (r *Runner) submit(ta int64) {
-	// The workload composition describes the *accepted* jobs (Table 2's
-	// percentages and Table 3's mixes are over the ten-job workload):
-	// slot k of the composition is retried on every submission until a
-	// job is accepted into it.
-	tmpl := r.cfg.Workload.Jobs[len(r.accepted)%len(r.cfg.Workload.Jobs)]
-	dl := r.dlmix.Next()
-	r.submitTemplate(tmpl, dl, ta)
-}
-
-// probeHierarchy cold-measures a profile's post-L1 h2 and L2 miss ratio
-// over the job's own reference count, at the requested way allocation.
-func probeHierarchy(cfg Config, p workload.Profile, ways int) (h2, missRatio float64) {
-	l2 := cfg.L2
-	l2.Owners = 1
-	h := cache.NewHierarchy(1, cfg.L1, l2)
-	h.L2().SetTarget(0, ways)
-	h.L2().SetClass(0, cache.ClassReserved)
-	ms := p.NewMemStream(cfg.Seed, 0)
-	n := int(float64(cfg.JobInstr) * workload.MemRefsPerInstr)
-	if n > 1_000_000 {
-		n = 1_000_000
-	}
-	if n < 50_000 {
-		n = 50_000
-	}
-	for i := 0; i < n; i++ {
-		h.Access(0, ms.Next())
-	}
-	refs, l1m, l2m := h.Stats(0)
-	instr := float64(refs) / workload.MemRefsPerInstr
-	h2 = float64(l1m) / instr
-	if l1m > 0 {
-		missRatio = float64(l2m) / float64(l1m)
-	}
-	return h2, missRatio
-}
-
-// twKey identifies a template's wall-clock budget: phased variants of
-// the same benchmark budget differently.
-// modeFor resolves a hint through the per-run memo table, falling back
-// to the Config method for out-of-range hints.
-func (r *Runner) modeFor(h workload.ModeHint) qos.Mode {
-	if h >= 0 && h < workload.NumModeHints {
-		return r.modeByHint[h]
-	}
-	return r.cfg.ModeForHint(h)
-}
-
-func twKey(jt workload.JobTemplate) string {
-	if len(jt.Phases) == 0 {
-		return jt.Benchmark
-	}
-	return fmt.Sprintf("%s|%v", jt.Benchmark, jt.Phases)
-}
-
-// resolveProfile materializes a template's profile, applying any phase
-// override.
-func resolveProfile(jt workload.JobTemplate) workload.Profile {
-	p := workload.MustByName(jt.Benchmark)
-	if len(jt.Phases) > 0 {
-		p = p.WithPhases(jt.Phases...)
-	}
-	return p
-}
-
-// probeTemplate asks this node's LAC, without side effects, whether it
-// could accept the job and when it would start. The GAC layer of the
-// cluster simulation uses this.
-func (r *Runner) probeTemplate(tmpl workload.JobTemplate, dl workload.DeadlineClass, ta int64) (start int64, ok bool) {
-	if r.lac == nil {
-		return ta, true
-	}
-	tw := r.twFor(twKey(tmpl))
-	factor := dl.Factor()
-	if r.cfg.DeadlineFactor > 0 {
-		factor = r.cfg.DeadlineFactor
-	}
-	r.rum = qos.RUM{
-		Resources:    qos.ResourceVector{Cores: 1, CacheWays: r.reqWays},
-		MaxWallClock: tw,
-		Deadline:     ta + int64(factor*float64(tw)),
-	}
-	d := r.lac.Probe(qos.Request{
-		JobID:   -1,
-		Target:  &r.rum,
-		Mode:    r.modeFor(tmpl.Hint),
-		Arrival: ta,
-	})
-	return d.Start, d.Accepted
-}
-
-// submitTemplate runs one admission attempt and returns whether the job
-// was accepted. Under the paper's arrival pressure (4×128 probes per tw)
-// rejections outnumber acceptances ~80:1, so the rejection path records
-// its two events and touches nothing else: the Job object, its resolved
-// profile, and the deadline bookkeeping are built only after acceptance.
-func (r *Runner) submitTemplate(tmpl workload.JobTemplate, dl workload.DeadlineClass, ta int64) bool {
-	r.submitIdx++
-	id := r.submitIdx
-	key := twKey(tmpl)
-	tw := r.twFor(key)
-	if r.cfg.JobInstr != r.twInstr {
-		// Scripted per-job instruction override: tw scales with length.
-		tw = int64(float64(tw) * float64(r.cfg.JobInstr) / float64(r.twInstr))
-	}
-	factor := dl.Factor()
-	if r.cfg.DeadlineFactor > 0 {
-		factor = r.cfg.DeadlineFactor
-	}
-	td := ta + int64(factor*float64(tw))
-	mode := r.modeFor(tmpl.Hint)
-	r.rec.Record(trace.Event{Cycle: ta, JobID: id, Kind: trace.Submitted})
-
-	var dec qos.Decision
-	if !r.cfg.Policy.noAdmission() {
-		r.rum = qos.RUM{
-			Resources:    qos.ResourceVector{Cores: 1, CacheWays: r.reqWays},
-			MaxWallClock: tw,
-			Deadline:     td,
-		}
-		dec = r.lac.Admit(qos.Request{
-			JobID:   id,
-			Target:  &r.rum,
-			Mode:    mode,
-			Arrival: ta,
-		})
-		if !dec.Accepted {
-			r.rejected++
-			r.rec.Record(trace.Event{Cycle: ta, JobID: id, Kind: trace.Rejected})
-			return false
-		}
-	}
-
-	instr := r.cfg.JobInstr
-	if r.cfg.OverrunFactor > 1 && len(r.accepted) == r.cfg.OverrunJobSlot {
-		// Failure injection: this job's user underspecified tw.
-		instr = int64(float64(instr) * r.cfg.OverrunFactor)
-	}
-	j := &Job{
-		ID:           id,
-		Profile:      r.resolveTemplate(key, tmpl),
-		Hint:         tmpl.Hint,
-		Mode:         mode,
-		DlClass:      dl,
-		Arrival:      ta,
-		TW:           tw,
-		Deadline:     td,
-		InstrTotal:   instr,
-		Core:         -1,
-		WaysReserved: r.reqWays,
-	}
-	r.planOK = false // an accepted arrival changes the epoch plan
-
-	if r.cfg.Policy.noAdmission() {
-		// No admission control: every job is accepted and handed to the
-		// OS scheduler immediately.
-		j.State = StateWaiting
-		j.StartAt = ta
-		r.accepted = append(r.accepted, j)
-		r.rec.Record(trace.Event{Cycle: ta, JobID: id, Kind: trace.Accepted, Detail: ta})
-		return true
-	}
-
-	j.ReservationID = dec.ReservationID
-	switch {
-	case dec.AutoDowngraded:
-		j.AutoDowngraded = true
-		j.SwitchBack = dec.SwitchBack
-		j.StartAt = ta // runs opportunistically right away
-	case j.Mode.Reserves():
-		j.StartAt = dec.Start
-	default:
-		j.StartAt = ta
-	}
-	j.State = StateWaiting
-	r.accepted = append(r.accepted, j)
-	r.rec.Record(trace.Event{Cycle: ta, JobID: id, Kind: trace.Accepted, Detail: dec.Start})
-	return true
-}
-
-// twFor returns the template's tw budget with a single-entry memo in
-// front of the map: successive arrivals overwhelmingly draw the same
-// benchmark, and comparing an interned key string is cheaper than
-// hashing it.
-func (r *Runner) twFor(key string) int64 {
-	if key == r.lastTWKey && key != "" {
-		return r.lastTW
-	}
-	tw := r.twByBench[key]
-	r.lastTWKey, r.lastTW = key, tw
-	return tw
-}
-
-// resolveTemplate returns the template's materialized profile, memoized
-// per tw key (the key pins benchmark and phase overrides, the only
-// inputs of resolveProfile). New pre-populates the map for every
-// template it budgets, so submissions never re-resolve.
-func (r *Runner) resolveTemplate(key string, tmpl workload.JobTemplate) workload.Profile {
-	if p, ok := r.profByKey[key]; ok {
-		return p
-	}
-	p := resolveProfile(tmpl)
-	r.profByKey[key] = p
-	return p
-}
-
-// startJobs moves waiting jobs whose start time has come into the
-// running state.
-func (r *Runner) startJobs() {
-	for _, j := range r.accepted {
-		if j.State != StateWaiting || j.StartAt > r.now {
-			continue
-		}
-		j.State = StateRunning
-		j.Started = r.now
-		if j.Mode.Kind == qos.KindElastic && !r.cfg.DisableStealing {
-			j.Stealer = steal.New(j.Mode.Slack, j.WaysReserved, 1)
-			// Curve lookups at the fixed original allocation, reused by
-			// the shadow-baseline accounting every epoch.
-			j.mpifRes = j.Profile.MPIF(float64(j.WaysReserved))
-			j.mpiRes = j.Profile.MPI(j.WaysReserved)
-		}
-		r.rec.Record(trace.Event{Cycle: r.now, JobID: j.ID, Kind: trace.Started})
-		if j.AutoDowngraded {
-			r.rec.Record(trace.Event{Cycle: r.now, JobID: j.ID, Kind: trace.Downgraded})
-		}
-	}
-}
-
-// switchBacks reverts auto-downgraded jobs to the Strict mode when their
-// reserved timeslot begins.
-func (r *Runner) switchBacks() {
-	for _, j := range r.accepted {
-		if j.State == StateRunning && j.AutoDowngraded && !j.switched && r.now >= j.SwitchBack {
-			j.switched = true
-			r.rec.Record(trace.Event{Cycle: r.now, JobID: j.ID, Kind: trace.SwitchedBack})
-		}
-	}
-}
-
-// assignCores pins jobs to cores for this epoch: one reserved job per
-// core; Opportunistic jobs share the cores free of reserved jobs (§5).
-// EqualPart balances all jobs across all cores, modelling the default OS
-// scheduler.
-func (r *Runner) assignCores() [][]*Job {
-	byCore := r.sc.byCore
-	for c := range byCore {
-		byCore[c] = byCore[c][:0]
-	}
-	if r.cfg.Policy.noAdmission() {
-		load := r.sc.load
-		for i := range load {
-			load[i] = 0
-			if r.coreDown[i] {
-				// A failed core never wins the min-load pick; injection
-				// displaced whatever ran there.
-				load[i] = 1 << 30
-			}
-		}
-		unplaced := r.sc.unplaced[:0]
-		for _, j := range r.accepted {
-			if j.State != StateRunning {
-				continue
-			}
-			if j.Core >= 0 {
-				load[j.Core]++
-			} else {
-				unplaced = append(unplaced, j)
-			}
-		}
-		for _, j := range unplaced {
-			c := minIndex(load)
-			j.Core = c
-			load[c]++
-			r.model.jobStarted(j)
-		}
-		r.sc.unplaced = unplaced
-		for _, j := range r.accepted {
-			if j.State == StateRunning {
-				byCore[j.Core] = append(byCore[j.Core], j)
-			}
-		}
-		return byCore
-	}
-
-	reservedOn := r.sc.reservedOn
-	for i := range reservedOn {
-		reservedOn[i] = nil
-	}
-	needCore := r.sc.needCore[:0]
-	opps := r.sc.opps[:0]
-	for _, j := range r.accepted {
-		if j.State != StateRunning {
-			continue
-		}
-		if j.ReservedRunning(r.now) {
-			if j.Core >= 0 && !r.coreDown[j.Core] && reservedOn[j.Core] == nil {
-				reservedOn[j.Core] = j
-			} else {
-				j.Core = -1
-				needCore = append(needCore, j)
-			}
-		} else {
-			opps = append(opps, j)
-		}
-	}
-	for _, j := range needCore {
-		placed := false
-		for c := 0; c < r.cfg.Cores; c++ {
-			if reservedOn[c] == nil && !r.coreDown[c] {
-				reservedOn[c] = j
-				j.Core = c
-				placed = true
-				r.model.jobStarted(j)
-				break
-			}
-		}
-		if !placed {
-			// The LAC's reservation accounting should make this
-			// impossible; stall the job for an epoch if it happens.
-			j.Core = -1
-		}
-	}
-	// Opportunistic jobs: only on cores without reserved jobs.
-	load := r.sc.load
-	for i := range load {
-		load[i] = 0
-	}
-	freeCores := r.sc.freeCores[:0]
-	for c := 0; c < r.cfg.Cores; c++ {
-		if reservedOn[c] == nil && !r.coreDown[c] {
-			freeCores = append(freeCores, c)
-		}
-	}
-	oppUnplaced := r.sc.unplaced[:0]
-	for _, j := range opps {
-		if j.Core >= 0 && !r.coreDown[j.Core] && reservedOn[j.Core] == nil {
-			load[j.Core]++
-		} else {
-			j.Core = -1
-			oppUnplaced = append(oppUnplaced, j)
-		}
-	}
-	for _, j := range oppUnplaced {
-		if len(freeCores) == 0 {
-			continue // stall: every core hosts a reserved job
-		}
-		best := freeCores[0]
-		for _, c := range freeCores {
-			if load[c] < load[best] {
-				best = c
-			}
-		}
-		j.Core = best
-		load[best]++
-		r.model.jobStarted(j)
-	}
-	r.sc.needCore = needCore
-	r.sc.opps = opps
-	r.sc.freeCores = freeCores
-	r.sc.unplaced = oppUnplaced
-	for _, j := range r.accepted {
-		if j.State == StateRunning && j.Core >= 0 {
-			byCore[j.Core] = append(byCore[j.Core], j)
-		}
-	}
-	return byCore
-}
-
-func minIndex(xs []int) int {
-	best := 0
-	for i, x := range xs {
-		if x < xs[best] {
-			best = i
-		}
-		_ = x
-	}
-	return best
-}
-
-// assignWays sets each running job's effective way allocation for the
-// epoch: reserved jobs get their (possibly stolen-from) reservation;
-// Opportunistic jobs share the unallocated pool; EqualPart splits the
-// cache evenly across cores.
-func (r *Runner) assignWays(byCore [][]*Job) {
-	if r.cfg.Policy == EqualPart {
-		per := float64(r.cfg.L2.Ways-r.waysDown) / float64(r.cfg.Cores-r.downCores)
-		for _, jobs := range byCore {
-			for _, j := range jobs {
-				j.setWaysF(per)
-			}
-		}
-		return
-	}
-	if r.cfg.Policy == UCPPart {
-		r.assignWaysUCP(byCore)
-		return
-	}
-	reservedWays := 0
-	oppJobs := r.sc.oppJobs[:0]
-	for _, jobs := range byCore {
-		for _, j := range jobs {
-			if j.ReservedRunning(r.now) {
-				w := j.WaysReserved
-				if j.Stealer != nil {
-					w = j.Stealer.Ways()
-				}
-				j.setWaysF(float64(w))
-				reservedWays += w
-			} else {
-				oppJobs = append(oppJobs, j)
-			}
-		}
-	}
-	pool := float64(r.cfg.L2.Ways - r.waysDown - reservedWays)
-	if len(oppJobs) > 0 {
-		per := pool / float64(len(oppJobs))
-		if per < 0.25 {
-			per = 0.25 // a thrashing minimum; opportunistic jobs never stop
-		}
-		for _, j := range oppJobs {
-			j.setWaysF(per)
-		}
-	}
-	r.sc.oppJobs = oppJobs
-}
-
-// assignWaysUCP repartitions the L2 by utility each epoch: one demand
-// per busy core (its hungriest job's miss curve), allocated with the
-// lookahead greedy of internal/alloc. Idle cores release their share.
-func (r *Runner) assignWaysUCP(byCore [][]*Job) {
-	var demands []alloc.Demand
-	var cores []int
-	for c, jobs := range byCore {
-		if len(jobs) == 0 {
-			continue
-		}
-		best := jobs[0].Profile
-		for _, j := range jobs[1:] {
-			if j.Profile.L2APA > best.L2APA {
-				best = j.Profile
-			}
-		}
-		demands = append(demands, alloc.Demand{Profile: best})
-		cores = append(cores, c)
-	}
-	if len(demands) == 0 {
-		return
-	}
-	ways := alloc.UCP(demands, r.cfg.L2.Ways-r.waysDown)
-	for i, c := range cores {
-		for _, j := range byCore[c] {
-			j.setWaysF(float64(ways[i]))
-		}
-	}
-}
-
-// advanceAll retires one epoch of work on every core (processor-sharing
-// among the jobs pinned to a core), runs the stealing controller at its
-// repartitioning intervals, and completes jobs.
-func (r *Runner) advanceAll(byCore [][]*Job) {
-	epoch := r.cfg.EpochCycles
-	for core, jobs := range byCore {
-		switch {
-		case len(jobs) == 0:
-			continue
-		case len(jobs) > 1 && r.cfg.SchedQuantumCycles > 0:
-			r.advanceCoreRR(core, jobs, epoch)
-		default:
-			// Processor sharing: every job gets an equal slice of the
-			// epoch (the default idealization of a fair scheduler).
-			share := epoch / int64(len(jobs))
-			for _, j := range jobs {
-				r.advanceJob(j, share, int64(len(jobs)), 0)
-			}
-		}
-	}
-}
-
-// advanceCoreRR timeshares one core's jobs with a quantum-based
-// round-robin scheduler, charging a context-switch penalty (register
-// state plus cold-cache warmup) whenever the running job changes — the
-// OS-realism model for the EqualPart baseline and for Opportunistic
-// pile-ups.
-func (r *Runner) advanceCoreRR(core int, jobs []*Job, epoch int64) {
-	st := &r.coreSched[core]
-	remaining := epoch
-	offset := int64(0)
-	for remaining > 0 {
-		live := liveJobs(r.sc.live[:0], jobs)
-		r.sc.live = live
-		if len(live) == 0 {
-			return
-		}
-		j := live[st.rrIndex%len(live)]
-		if st.quantumLeft <= 0 {
-			st.quantumLeft = r.cfg.SchedQuantumCycles
-		}
-		run := st.quantumLeft
-		if run > remaining {
-			run = remaining
-		}
-		r.advanceJob(j, run, 1, offset)
-		offset += run
-		remaining -= run
-		st.quantumLeft -= run
-		if st.quantumLeft <= 0 && len(live) > 1 {
-			st.rrIndex++
-			// Context-switch penalty comes out of the epoch budget.
-			if pen := r.cfg.SwitchPenaltyCycles; pen > 0 {
-				if pen > remaining {
-					pen = remaining
-				}
-				offset += pen
-				remaining -= pen
-			}
-		}
-	}
-}
-
-// liveJobs appends a core list's still-running jobs to dst (completion
-// inside the epoch removes them from rotation).
-func liveJobs(dst []*Job, jobs []*Job) []*Job {
-	for _, j := range jobs {
-		if j.State == StateRunning {
-			dst = append(dst, j)
-		}
-	}
-	return dst
-}
-
-// advanceJob retires up to shareCycles worth of work for one job.
-// sharers is the processor-sharing degree (wall-clock per consumed cycle);
-// offset positions the work inside the epoch for completion timestamps.
-func (r *Runner) advanceJob(j *Job, shareCycles, sharers, offset int64) {
-	epoch := r.cfg.EpochCycles
-	pen := r.penaltyFor(j)
-	cpi := r.model.cpiFor(j, pen)
-	instr := int64(float64(shareCycles) / cpi)
-	if instr > j.Remaining() {
-		instr = j.Remaining()
-	}
-	if instr <= 0 {
-		instr = 1
-	}
-	misses, writeBacks := r.model.advance(j, instr)
-	r.bus.AddMisses(misses)
-	r.bus.AddWriteBacks(writeBacks)
-	consumed := int64(float64(instr) * cpi)
-	j.InstrDone += instr
-	j.ActualCycles += consumed
-	if j.Stealer != nil {
-		// CPIF at the fixed original allocation, with the curve lookup
-		// memoized at Stealer creation (j.mpifRes).
-		j.BaselineCycles += float64(instr) * r.cfg.CPU.CPI(j.Profile.CPIL1Inf, j.Profile.L2APA, j.mpifRes, pen)
-	} else {
-		j.BaselineCycles += float64(instr) * cpi
-	}
-	r.runStealing(j, instr)
-	if r.cfg.EnforceWallClock && r.overBudget(j) {
-		j.Completed = r.now + offset + shareCycles
-		if j.Completed > r.now+epoch {
-			j.Completed = r.now + epoch
-		}
-		j.State = StateTerminated
-		j.Core = -1
-		r.doneN++
-		r.planOK = false // a termination frees a core and its ways
-		if r.lac != nil {
-			r.lac.Complete(j.ID, j.Mode, j.Completed)
-		}
-		r.rec.Record(trace.Event{Cycle: j.Completed, JobID: j.ID, Kind: trace.Terminated})
-		return
-	}
-	if j.Remaining() == 0 {
-		wall := offset + consumed*sharers
-		if wall > epoch {
-			wall = epoch
-		}
-		j.Completed = r.now + wall
-		j.State = StateDone
-		j.Core = -1
-		r.doneN++
-		r.planOK = false // a completion frees a core and its ways
-		if r.lac != nil {
-			r.lac.Complete(j.ID, j.Mode, j.Completed)
-		}
-		r.rec.Record(trace.Event{
-			Cycle: j.Completed, JobID: j.ID, Kind: trace.Completed,
-			DeadlineMet: j.MetDeadline(),
-		})
-	}
-}
-
-// coreSchedState is one core's round-robin scheduler state.
-type coreSchedState struct {
-	rrIndex     int
-	quantumLeft int64
-}
-
-// penaltyFor returns the job's contention-adjusted memory penalty,
-// honoring the reserved-over-opportunistic bus prioritization when the
-// configuration enables it (§4.2 footnote 2).
-func (r *Runner) penaltyFor(j *Job) float64 {
-	// latFactor is exactly 1.0 outside latency-spike windows, and x*1.0
-	// is the IEEE-754 identity, so fault-free runs stay bit-identical.
-	if !r.cfg.PrioritizeBus || r.cfg.Policy.noAdmission() {
-		return r.bus.MissPenalty() * r.latFactor
-	}
-	if j.ReservedRunning(r.now) {
-		return r.bus.MissPenaltyFor(mem.PrioReserved) * r.latFactor
-	}
-	return r.bus.MissPenaltyFor(mem.PrioOpportunistic) * r.latFactor
-}
-
-// overBudget reports whether a reserved-running job has exhausted its
-// reserved wall-clock budget: tw for Strict, tw·(1+X) for Elastic, and
-// the deadline for auto-downgraded jobs (whose reservation ends there).
-func (r *Runner) overBudget(j *Job) bool {
-	if j.State != StateRunning || !j.ReservedRunning(r.now) {
-		return false
-	}
-	var budgetEnd int64
-	switch {
-	case j.AutoDowngraded:
-		budgetEnd = j.Deadline
-	case j.Mode.Kind == qos.KindElastic:
-		budgetEnd = j.Started + j.Mode.ReservationLength(j.TW)
-	default:
-		budgetEnd = j.Started + j.TW
-	}
-	return r.now >= budgetEnd
-}
-
-// runStealing advances the Elastic job's repartitioning interval clock
-// and applies the controller's actions.
-func (r *Runner) runStealing(j *Job, instr int64) {
-	if j.Stealer == nil || j.State != StateRunning {
-		return
-	}
-	j.instrLastSteal += instr
-	for j.instrLastSteal >= r.cfg.StealIntervalInstr {
-		j.instrLastSteal -= r.cfg.StealIntervalInstr
-		// Pause (without rolling back) while the bus is saturated (§4.2
-		// footnote 2) or the shadow baseline is not trustworthy yet.
-		pause := r.bus.Saturated() || !r.model.stealReady(j)
-		switch j.Stealer.OnInterval(j.MainMisses, j.ShadowMisses, pause) {
-		case steal.StealOne:
-			r.planWaysDirty = true // the donor's way count changed
-			r.rec.Record(trace.Event{Cycle: r.now, JobID: j.ID, Kind: trace.StealWay,
-				Detail: int64(j.Stealer.Ways())})
-		case steal.Rollback:
-			r.planWaysDirty = true // stolen ways returned to the donor
-			r.rec.Record(trace.Event{Cycle: r.now, JobID: j.ID, Kind: trace.RollbackSteal,
-				Detail: int64(j.Stealer.Ways())})
-		}
-	}
 }

@@ -106,7 +106,7 @@ func (r *Runner) injectFault(ev fault.Event) {
 		r.coreDown[ev.Core] = true
 		r.downCores++
 		r.coreSched[ev.Core] = coreSchedState{}
-		r.rec.Record(trace.Event{Cycle: r.now, JobID: -1, Kind: trace.CoreFail,
+		r.emit(trace.Event{Cycle: r.now, JobID: -1, Kind: trace.CoreFail,
 			Detail: int64(ev.Core)})
 		// Displace whatever was running there; assignCores re-places
 		// reserved jobs on surviving cores and stalls the rest.
@@ -119,7 +119,7 @@ func (r *Runner) injectFault(ev fault.Event) {
 	case fault.WayFault:
 		r.fstats.WayFaults++
 		r.waysDown += ev.Ways
-		r.rec.Record(trace.Event{Cycle: r.now, JobID: -1, Kind: trace.WayFault,
+		r.emit(trace.Event{Cycle: r.now, JobID: -1, Kind: trace.WayFault,
 			Detail: int64(r.waysDown)})
 		r.shedElastic()
 		r.refitReservations()
@@ -127,7 +127,7 @@ func (r *Runner) injectFault(ev fault.Event) {
 		r.fstats.LatencySpikes++
 		r.latActive = append(r.latActive, ev.Factor)
 		r.refreshLatFactor()
-		r.rec.Record(trace.Event{Cycle: r.now, JobID: -1, Kind: trace.LatencySpike,
+		r.emit(trace.Event{Cycle: r.now, JobID: -1, Kind: trace.LatencySpike,
 			Detail: int64(ev.Factor * 1000)})
 	}
 }
@@ -139,13 +139,13 @@ func (r *Runner) recoverFault(ev fault.Event) {
 		r.coreDown[ev.Core] = false
 		r.downCores--
 		r.coreSched[ev.Core] = coreSchedState{}
-		r.rec.Record(trace.Event{Cycle: r.now, JobID: -1, Kind: trace.CoreRecover,
+		r.emit(trace.Event{Cycle: r.now, JobID: -1, Kind: trace.CoreRecover,
 			Detail: int64(ev.Core)})
 		r.refitReservations() // growth: re-admits capacity, evicts nothing
 	case fault.WayFault:
 		r.fstats.WayRecovers++
 		r.waysDown -= ev.Ways
-		r.rec.Record(trace.Event{Cycle: r.now, JobID: -1, Kind: trace.WayRecover,
+		r.emit(trace.Event{Cycle: r.now, JobID: -1, Kind: trace.WayRecover,
 			Detail: int64(r.waysDown)})
 		r.refitReservations()
 	case fault.LatencySpike:
@@ -156,7 +156,7 @@ func (r *Runner) recoverFault(ev fault.Event) {
 			}
 		}
 		r.refreshLatFactor()
-		r.rec.Record(trace.Event{Cycle: r.now, JobID: -1, Kind: trace.LatencySpike,
+		r.emit(trace.Event{Cycle: r.now, JobID: -1, Kind: trace.LatencySpike,
 			Detail: int64(r.latFactor * 1000)})
 	}
 }
@@ -220,12 +220,11 @@ func (r *Runner) refitReservations() {
 	}
 }
 
-// readmit re-negotiates one evicted job against the post-fault timeline.
-// It tries earliest-fit at the job's pre-fault width first, then §3-style
-// degraded renegotiation at progressively narrower widths (the tw budget
-// rescaled to the width's modeled CPI, so the slower run is honestly
-// declared), then the forced §3.4 auto-downgrade over the same widths,
-// and finally terminates with a recorded QoS violation.
+// readmit re-negotiates one evicted job against the post-fault timeline
+// through the shared admission ladder (negotiate, in admit.go): the
+// job's pre-fault width first, then progressively narrower widths, then
+// the forced §3.4 auto-downgrade over the same widths, and finally
+// terminates with a recorded QoS violation.
 func (r *Runner) readmit(j *Job) {
 	if j.State == StateDone || j.State == StateTerminated || j.State == StateRejected {
 		return
@@ -238,22 +237,7 @@ func (r *Runner) readmit(j *Job) {
 	if maxWays < 1 {
 		maxWays = 1
 	}
-	var dec qos.Decision
-	ways := maxWays
-	for ; ways >= 1; ways-- {
-		dec = r.lac.Admit(r.refitRequest(j, ways))
-		if dec.Accepted {
-			break
-		}
-	}
-	if !dec.Accepted && j.Mode.Kind != qos.KindOpportunistic {
-		for ways = maxWays; ways >= 1; ways-- {
-			dec = r.lac.AdmitAutoDowngrade(r.refitRequest(j, ways))
-			if dec.Accepted {
-				break
-			}
-		}
-	}
+	dec, ways, tw := r.negotiate(j, maxWays)
 	if !dec.Accepted {
 		r.violate(j)
 		return
@@ -261,7 +245,7 @@ func (r *Runner) readmit(j *Job) {
 	r.fstats.Readmitted++
 	j.ReservationID = dec.ReservationID
 	j.WaysReserved = ways
-	j.TW = r.rum.MaxWallClock // the renegotiated budget the slot was sized for
+	j.TW = tw // the renegotiated budget the slot was sized for
 	if j.Stealer != nil {
 		// The reservation shrank (or moved); rebase the controller and
 		// the baseline curve lookups on what the job now actually holds.
@@ -279,12 +263,12 @@ func (r *Runner) readmit(j *Job) {
 		j.SwitchBack = dec.SwitchBack
 		j.switched = false
 		j.StartAt = r.now
-		r.rec.Record(trace.Event{Cycle: r.now, JobID: j.ID, Kind: trace.AutoDowngrade,
+		r.emit(trace.Event{Cycle: r.now, JobID: j.ID, Kind: trace.AutoDowngrade,
 			Detail: dec.SwitchBack})
 		if wasWaiting {
 			return // startJobs records Started/Downgraded as usual
 		}
-		r.rec.Record(trace.Event{Cycle: r.now, JobID: j.ID, Kind: trace.Downgraded})
+		r.emit(trace.Event{Cycle: r.now, JobID: j.ID, Kind: trace.Downgraded})
 	case dec.Start > r.now:
 		// The remaining work fits, but only later: suspend until the new
 		// slot opens (waiting jobs just move their start).
@@ -296,41 +280,12 @@ func (r *Runner) readmit(j *Job) {
 	}
 }
 
-// refitRequest builds the re-negotiation request for one candidate
-// width: one core, `ways` cache ways, the remaining work only, and the
-// original deadline. The request targets the runner's scratch RUM so
-// the probe loop allocates nothing per width.
-func (r *Runner) refitRequest(j *Job, ways int) qos.Request {
-	r.rum = qos.RUM{
-		Resources:    qos.ResourceVector{Cores: 1, CacheWays: ways},
-		MaxWallClock: r.refitTW(j, ways),
-		Deadline:     j.Deadline,
-	}
-	return qos.Request{JobID: j.ID, Target: &r.rum, Mode: j.Mode, Arrival: r.now}
-}
-
-// refitTW budgets the job's remaining instructions at the candidate
-// width, using the same CPI model the admission-time tw derivation
-// uses: a narrower slot runs at the profile's worse miss ratio, so the
-// declared wall-clock grows to match and the reservation stays honest.
-func (r *Runner) refitTW(j *Job, ways int) int64 {
-	p := j.Profile
-	mr := p.MissRatio(ways)
-	cpi := r.cfg.CPU.CPI(p.CPIL1Inf, p.L2APA,
-		p.L2APA*mr*p.MaxPhaseScale(), float64(r.cfg.Mem.BaseCycles))
-	tw := int64(float64(j.Remaining()) * cpi * r.cfg.TwMargin)
-	if tw < r.cfg.EpochCycles {
-		tw = r.cfg.EpochCycles
-	}
-	return tw
-}
-
 // violate terminates a job the framework cannot carry through the fault,
 // recording the QoS violation the degradation metrics count.
 func (r *Runner) violate(j *Job) {
 	r.fstats.Violations++
-	r.rec.Record(trace.Event{Cycle: r.now, JobID: j.ID, Kind: trace.QoSViolation})
-	r.rec.Record(trace.Event{Cycle: r.now, JobID: j.ID, Kind: trace.Terminated})
+	r.emit(trace.Event{Cycle: r.now, JobID: j.ID, Kind: trace.QoSViolation})
+	r.emit(trace.Event{Cycle: r.now, JobID: j.ID, Kind: trace.Terminated})
 	j.State = StateTerminated
 	j.Completed = r.now
 	j.Core = -1
@@ -372,7 +327,7 @@ func (r *Runner) shedElastic() {
 			qos.ResourceVector{Cores: 1, CacheWays: pick.WaysReserved})
 		r.fstats.WaysShed++
 		r.planWaysDirty = true
-		r.rec.Record(trace.Event{Cycle: r.now, JobID: pick.ID, Kind: trace.StealWay,
+		r.emit(trace.Event{Cycle: r.now, JobID: pick.ID, Kind: trace.StealWay,
 			Detail: int64(pick.Stealer.Ways())})
 		need--
 	}

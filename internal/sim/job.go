@@ -127,6 +127,10 @@ func (j *Job) setWaysF(w float64) {
 	j.mpifCur = j.Profile.MPIF(w)
 }
 
+// SetWays is the exported allocation setter for WayAllocator
+// implementations registered from outside this package.
+func (j *Job) SetWays(w float64) { j.setWaysF(w) }
+
 // ReservedRunning reports whether the job currently executes with
 // reserved resources (Strict/Elastic, or an auto-downgraded job after
 // its switch-back).

@@ -192,13 +192,15 @@ func (r *Runner) report() *Report {
 			}
 		}
 	}
-	rep.Series = r.series
+	if r.seriesS != nil {
+		rep.Series = r.seriesS.series
+	}
 	if r.epochIdx > 0 {
 		den := float64(r.epochIdx)
 		rep.Frag = Fragmentation{
-			ExternalCores: r.fragIdleCores / (den * float64(r.cfg.Cores)),
-			ExternalWays:  r.fragIdleWays / (den * float64(r.cfg.L2.Ways)),
-			InternalWays:  r.fragInternal / (den * float64(r.cfg.L2.Ways)),
+			ExternalCores: r.frag.idleCores / (den * float64(r.cfg.Cores)),
+			ExternalWays:  r.frag.idleWays / (den * float64(r.cfg.L2.Ways)),
+			InternalWays:  r.frag.internal / (den * float64(r.cfg.L2.Ways)),
 		}
 	}
 	return rep

@@ -84,16 +84,16 @@ type traceModel struct {
 	frozen  []int // per-core frozen shadow target; -1 when not frozen
 	elastic []int // applyPartition scratch, reused every epoch
 	cfg     Config
-	params cpu.Params
-	l2     *cache.Partitioned
-	shadow *cache.ShadowTags
-	hier   *cache.Hierarchy // full L1+L2 hierarchy when ModelL1 is set
+	params  cpu.Params
+	l2      *cache.Partitioned
+	shadow  *cache.ShadowTags
+	hier    *cache.Hierarchy // full L1+L2 hierarchy when ModelL1 is set
 }
 
 func newTraceModel(cfg Config) *traceModel {
 	m := &traceModel{
-		cfg:    cfg,
-		params: cfg.CPU,
+		cfg:     cfg,
+		params:  cfg.CPU,
 		shadow:  cache.NewShadowTags(cfg.L2, cfg.SampleEvery),
 		frozen:  make([]int, cfg.Cores),
 		elastic: make([]int, cfg.Cores),

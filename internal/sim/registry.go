@@ -1,0 +1,177 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"cmpqos/internal/qos"
+)
+
+// The policy registries turn the engine into a pluggable pipeline: a
+// Scheduler assigns running jobs to cores, a WayAllocator splits the L2
+// among them, and a qos.AdmissionPolicy places reserved timeslots on
+// the LAC timeline. Each stage is selected by name through Config
+// (empty names resolve to the Policy-appropriate defaults, preserving
+// the paper's behaviour bit for bit), so a new policy — the next
+// coordinated-management or SLO paper — is a registered constructor
+// plus an implementation, not another branch inside the epoch loop.
+//
+// Registration is expected at package init time; the maps are read-only
+// afterwards, which keeps concurrent runs (sim.RunAll) lock-free.
+
+// Scheduler assigns running jobs to cores for one epoch. Assign returns
+// the per-core job lists (the runner's reusable scratch; nothing may
+// retain them past the epoch) and must be a deterministic pure function
+// of the runner's job/fault state — the epoch-plan cache replays its
+// result verbatim between QoS events.
+type Scheduler interface {
+	Name() string
+	Assign(r *Runner) [][]*Job
+}
+
+// WayAllocator sets each running job's effective L2 way share for the
+// epoch, given the scheduler's core assignment. Implementations must
+// assign through Job.setWaysF (which refreshes the memoized curve
+// lookup) and be deterministic for the same reason as Scheduler.
+type WayAllocator interface {
+	Name() string
+	Allocate(r *Runner, byCore [][]*Job)
+}
+
+var (
+	schedulers = map[string]func(Config) Scheduler{}
+	allocators = map[string]func(Config) WayAllocator{}
+	admissions = map[string]func(Config) qos.AdmissionPolicy{}
+)
+
+// RegisterScheduler registers a named core-assignment policy. It panics
+// on a duplicate or empty name (registration is an init-time contract).
+func RegisterScheduler(name string, build func(Config) Scheduler) {
+	registerPolicy(schedulers, "scheduler", name, build)
+}
+
+// RegisterAllocator registers a named way-allocation policy.
+func RegisterAllocator(name string, build func(Config) WayAllocator) {
+	registerPolicy(allocators, "allocator", name, build)
+}
+
+// RegisterAdmission registers a named admission placement policy.
+func RegisterAdmission(name string, build func(Config) qos.AdmissionPolicy) {
+	registerPolicy(admissions, "admission", name, build)
+}
+
+func registerPolicy[T any](m map[string]func(Config) T, kind, name string, build func(Config) T) {
+	if name == "" || build == nil {
+		panic(fmt.Sprintf("sim: %s registration needs a name and constructor", kind))
+	}
+	if _, dup := m[name]; dup {
+		panic(fmt.Sprintf("sim: duplicate %s %q", kind, name))
+	}
+	m[name] = build
+}
+
+// SchedulerNames lists the registered schedulers, sorted.
+func SchedulerNames() []string { return policyNames(schedulers) }
+
+// AllocatorNames lists the registered way allocators, sorted.
+func AllocatorNames() []string { return policyNames(allocators) }
+
+// AdmissionNames lists the registered admission policies, sorted.
+func AdmissionNames() []string { return policyNames(admissions) }
+
+func policyNames[T any](m map[string]func(Config) T) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// schedulerName resolves the configured scheduler, defaulting by
+// policy: admissionless baselines timeshare like a default OS scheduler
+// ("shared"); QoS policies pin reserved jobs ("reserved").
+func (c Config) schedulerName() string {
+	if c.Scheduler != "" {
+		return c.Scheduler
+	}
+	if c.Policy.noAdmission() {
+		return "shared"
+	}
+	return "reserved"
+}
+
+// allocatorName resolves the configured way allocator, defaulting by
+// policy: EqualPart splits evenly, UCP-Part repartitions by utility,
+// QoS policies honor reservations.
+func (c Config) allocatorName() string {
+	if c.Allocator != "" {
+		return c.Allocator
+	}
+	switch c.Policy {
+	case EqualPart:
+		return "equal"
+	case UCPPart:
+		return "ucp"
+	}
+	return "reserved"
+}
+
+// admissionName resolves the configured admission placement policy.
+func (c Config) admissionName() string {
+	if c.Admission != "" {
+		return c.Admission
+	}
+	return "fcfs"
+}
+
+// newScheduler builds the configuration's scheduler.
+func newScheduler(cfg Config) (Scheduler, error) {
+	build, ok := schedulers[cfg.schedulerName()]
+	if !ok {
+		return nil, fmt.Errorf("sim: unknown scheduler %q (have %v)", cfg.schedulerName(), SchedulerNames())
+	}
+	return build(cfg), nil
+}
+
+// newAllocator builds the configuration's way allocator.
+func newAllocator(cfg Config) (WayAllocator, error) {
+	build, ok := allocators[cfg.allocatorName()]
+	if !ok {
+		return nil, fmt.Errorf("sim: unknown allocator %q (have %v)", cfg.allocatorName(), AllocatorNames())
+	}
+	return build(cfg), nil
+}
+
+// newAdmission builds the configuration's admission placement policy.
+func newAdmission(cfg Config) (qos.AdmissionPolicy, error) {
+	build, ok := admissions[cfg.admissionName()]
+	if !ok {
+		return nil, fmt.Errorf("sim: unknown admission policy %q (have %v)", cfg.admissionName(), AdmissionNames())
+	}
+	return build(cfg), nil
+}
+
+// PipelineNames returns the resolved (scheduler, allocator, admission)
+// names this configuration will run — the policy triple the run-cache
+// key and reports identify a run by.
+func (c Config) PipelineNames() (scheduler, allocator, admission string) {
+	return c.schedulerName(), c.allocatorName(), c.admissionName()
+}
+
+// ValidatePolicyNames checks explicitly selected pipeline names against
+// the registries (empty selects the policy default and is always
+// valid). CLIs call it at flag-parse time so a typo is a usage error,
+// not a mid-run failure.
+func ValidatePolicyNames(scheduler, allocator, admission string) error {
+	if _, ok := schedulers[scheduler]; scheduler != "" && !ok {
+		return fmt.Errorf("unknown scheduler %q (have %v)", scheduler, SchedulerNames())
+	}
+	if _, ok := allocators[allocator]; allocator != "" && !ok {
+		return fmt.Errorf("unknown allocator %q (have %v)", allocator, AllocatorNames())
+	}
+	if _, ok := admissions[admission]; admission != "" && !ok {
+		return fmt.Errorf("unknown admission policy %q (have %v)", admission, AdmissionNames())
+	}
+	return nil
+}

@@ -1,0 +1,177 @@
+// Sink stage of the policy pipeline: every consumer of the run — the
+// event trace, the fragmentation accounting, the telemetry series —
+// observes the same stream of trace events and end-of-epoch states
+// instead of being hard-wired into the epoch loop.
+package sim
+
+import "cmpqos/internal/trace"
+
+// EpochState is the end-of-epoch observation delivered to every sink:
+// the epoch just advanced and its fragmentation deltas (§3.4), in
+// resource-epochs.
+type EpochState struct {
+	Cycle        int64 // first cycle of the epoch that just ended
+	Epoch        int64 // epoch index
+	IdleCores    float64
+	IdleWays     float64
+	InternalWays float64
+}
+
+// Sink observes a run. Event delivers every trace event at the cycle it
+// happens; EpochEnd delivers the per-epoch state after the epoch's work
+// has been retired (the memory bus window has rolled, so bus telemetry
+// read from the runner reflects the finished epoch). Sinks must not
+// mutate simulation state.
+type Sink interface {
+	Event(ev trace.Event)
+	EpochEnd(st EpochState)
+}
+
+// AddSink attaches an additional observer. Call before Run; the
+// built-in consumers (trace recorder, fragmentation accounting, and —
+// when Config.RecordSeries is set — the telemetry series) always
+// observe first.
+func (r *Runner) AddSink(s Sink) { r.sinks = append(r.sinks, s) }
+
+// emit delivers one trace event to the recorder and every added sink.
+// The built-in recorder is called directly (not through the Sink
+// interface) because probe-heavy admission windows emit thousands of
+// events per run and the inlined Record is measurably cheaper than a
+// dynamic dispatch; r.sinks is empty unless AddSink was used, so the
+// observer loop costs one length check on the default pipeline.
+func (r *Runner) emit(ev trace.Event) {
+	r.rec.Record(ev)
+	for _, s := range r.sinks {
+		s.Event(ev)
+	}
+}
+
+// endEpochSlow delivers the end-of-epoch state to the optional
+// telemetry series and any added observers. step() delivers to the
+// built-in fragmentation sink inline (the epoch loop is the hot loop
+// of the whole simulator) and only calls here when a series or an
+// observer is actually attached.
+func (r *Runner) endEpochSlow(st EpochState) {
+	if r.seriesS != nil {
+		r.seriesS.EpochEnd(st)
+	}
+	for _, s := range r.sinks {
+		s.EpochEnd(st)
+	}
+}
+
+// fragDeltas computes one epoch's fragmentation contributions (§3.4).
+// Internal fragmentation is a *reservation* concept: it counts
+// reserved-but-unneeded capacity, so only cores running reserved jobs
+// contribute, and EqualPart — which reserves nothing — reports zero by
+// definition. A job's "useful" ways are where its miss curve's marginal
+// benefit drops below 1% of its 1-way miss ratio; reserving beyond that
+// is the capacity resource stealing recovers.
+func (r *Runner) fragDeltas(byCore [][]*Job) (idleCores, idleWays, internal float64) {
+	busyCores := 0
+	usedWays := 0.0
+	for _, jobs := range byCore {
+		if len(jobs) == 0 {
+			continue
+		}
+		busyCores++
+		// Jobs timesharing a core share one partition: count the core's
+		// allocation once (the widest job's share).
+		coreWays, coreUseful := 0.0, 0.0
+		reserved := false
+		for _, j := range jobs {
+			if j.WaysF > coreWays {
+				coreWays = j.WaysF
+			}
+			if j.usefulW == 0 {
+				// Lazily memoized: the profile is fixed at submission and
+				// usefulWays is never below 1, so 0 means "not computed".
+				j.usefulW = usefulWays(j.Profile)
+			}
+			if j.usefulW > coreUseful {
+				coreUseful = j.usefulW
+			}
+			if j.ReservedRunning(r.now) {
+				reserved = true
+			}
+		}
+		usedWays += coreWays
+		if reserved && !r.cfg.Policy.noAdmission() && coreWays > coreUseful {
+			internal += coreWays - coreUseful
+		}
+	}
+	// Faulted resources are lost capacity, not fragmentation: they are
+	// excluded from both idle pools.
+	idleCores = float64(r.cfg.Cores - r.downCores - busyCores)
+	if idleCores < 0 {
+		idleCores = 0
+	}
+	if idle := float64(r.cfg.L2.Ways-r.waysDown) - usedWays; idle > 0 {
+		idleWays = idle
+	}
+	return idleCores, idleWays, internal
+}
+
+// fragSink accumulates the fragmentation deltas, in resource-epochs.
+// Accumulation order is the epoch order, so the float sums are
+// bit-identical to the historical inline accumulators.
+type fragSink struct {
+	idleCores float64
+	idleWays  float64
+	internal  float64
+}
+
+func (*fragSink) Event(trace.Event) {}
+
+func (s *fragSink) EpochEnd(st EpochState) {
+	s.idleCores += st.IdleCores
+	s.idleWays += st.IdleWays
+	s.internal += st.InternalWays
+}
+
+// seriesSink samples the node's telemetry every SeriesStride epochs. It
+// keeps the runner to census job states and read the (just rolled) bus
+// window — the per-epoch cost stays gated on Config.RecordSeries
+// because the sink is only installed when that is set.
+type seriesSink struct {
+	r      *Runner
+	stride int64
+	series []SeriesSample
+}
+
+func newSeriesSink(r *Runner) *seriesSink {
+	stride := int64(r.cfg.SeriesStride)
+	if stride <= 0 {
+		stride = 16
+	}
+	return &seriesSink{r: r, stride: stride}
+}
+
+func (*seriesSink) Event(trace.Event) {}
+
+func (s *seriesSink) EpochEnd(st EpochState) {
+	if st.Epoch%s.stride != 0 {
+		return
+	}
+	if s.series == nil {
+		// Sized for a typical run (samples every `stride` epochs); longer
+		// runs grow from here instead of from a 1-element slice.
+		s.series = make([]SeriesSample, 0, 128)
+	}
+	r := s.r
+	smp := SeriesSample{Cycle: st.Cycle, BusUtil: r.bus.Utilization()}
+	for _, j := range r.accepted {
+		switch j.State {
+		case StateRunning:
+			smp.Running++
+			if j.ReservedRunning(st.Cycle) {
+				smp.ReservedWays += int(j.WaysF)
+			} else {
+				smp.OppJobs++
+			}
+		case StateWaiting:
+			smp.Waiting++
+		}
+	}
+	s.series = append(s.series, smp)
+}
