@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race fuzz bench clean
+.PHONY: all build vet lint test race fuzz bench bench-smoke clean
 
 all: build vet test
 
@@ -37,15 +37,23 @@ race:
 
 # fuzz runs a short smoke of each fuzz target (one package per -fuzz
 # invocation, as the go tool requires): the job-file and fault-plan
-# parsers must never crash on arbitrary input.
+# parsers must never crash on arbitrary input, and the indexed Timeline
+# must stay bit-identical to its naive reference on any op sequence.
 fuzz:
 	$(GO) test -fuzz=Fuzz -fuzztime=10s -timeout 5m ./internal/jobfile
 	$(GO) test -fuzz=Fuzz -fuzztime=10s -timeout 5m ./internal/fault
+	$(GO) test -fuzz=FuzzTimelineEquivalence -fuzztime=10s -timeout 5m ./internal/qos
 
 # bench runs the hot-path benchmark suite with allocation stats and
 # records the results in BENCH_<date>.json (see scripts/bench.sh).
 bench:
 	scripts/bench.sh
+
+# bench-smoke compiles and runs the timeline admission benches once
+# each (-benchtime=1x): a CI guard that the O(log n) structure and its
+# benchmarks keep building and running — timings are meaningless here.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkTimeline' -benchtime=1x -timeout 10m .
 
 clean:
 	$(GO) clean ./...

@@ -73,20 +73,33 @@ func (l *LAC) Negotiate(req Request) []Offer {
 	}
 
 	// (2) Fewer ways before the original deadline: largest that fits.
+	// Feasibility is downward-closed in ways (a narrower vector fits
+	// every window a wider one does), so binary search finds the largest
+	// feasible width in O(log ways) fit probes.
 	if rum.Deadline != 0 {
-		for ways := rum.Resources.CacheWays - 1; ways >= 1; ways-- {
+		lo, hi := 1, rum.Resources.CacheWays-1
+		var best Offer
+		found := false
+		for lo <= hi {
+			mid := (lo + hi) / 2
 			vec := rum.Resources
-			vec.CacheWays = ways
+			vec.CacheWays = mid
 			if start, ok := l.timeline.EarliestFit(vec, req.Arrival, rum.MaxWallClock, rum.Deadline); ok {
-				offers = append(offers, Offer{
+				best = Offer{
 					Resources: vec,
 					Mode:      req.Mode,
 					Start:     start,
 					Deadline:  rum.Deadline,
 					Kind:      OfferFewerWays,
-				})
-				break
+				}
+				found = true
+				lo = mid + 1
+			} else {
+				hi = mid - 1
 			}
+		}
+		if found {
+			offers = append(offers, best)
 		}
 	}
 

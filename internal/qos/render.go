@@ -22,6 +22,12 @@ func (t *Timeline) Render(from, to int64, width int) string {
 	fmt.Fprintf(&b, "cycles %d .. %d  (one column = %.4g cycles)\n",
 		from, to, float64(span)/float64(width))
 
+	// One availability walk covers the window; each bucket's peak usage
+	// is the max over the steps it intersects (usage is piecewise
+	// constant, and ends inside a bucket can only lower it).
+	steps := t.AppendAvailability(t.avScratch[:0], from, to)
+	t.avScratch = steps
+
 	type dim struct {
 		name string
 		cap  int
@@ -44,17 +50,22 @@ func (t *Timeline) Render(from, to int64, width int) string {
 			continue
 		}
 		row := make([]byte, width)
+		idx := 0
 		for col := 0; col < width; col++ {
 			t0 := from + span*int64(col)/int64(width)
 			t1 := from + span*int64(col+1)/int64(width)
-			peak := d.get(t.UsageAt(t0))
-			// Usage is piecewise constant; check boundaries inside the
-			// bucket for the peak.
-			for _, r := range t.res {
-				if r.Start > t0 && r.Start < t1 {
-					if u := d.get(t.UsageAt(r.Start)); u > peak {
-						peak = u
-					}
+			if t1 <= t0 {
+				// More columns than cycles: a degenerate bucket still
+				// samples the instant t0.
+				t1 = t0 + 1
+			}
+			for idx < len(steps) && steps[idx].End <= t0 {
+				idx++
+			}
+			peak := 0
+			for j := idx; j < len(steps) && steps[j].Start < t1; j++ {
+				if u := d.cap - d.get(steps[j].Free); u > peak {
+					peak = u
 				}
 			}
 			frac := float64(peak) / float64(d.cap)
@@ -80,13 +91,11 @@ func (t *Timeline) Render(from, to int64, width int) string {
 }
 
 // Horizon returns the end of the last reservation (or from when none),
-// a convenient upper bound for Render windows.
+// a convenient upper bound for Render windows. Open-ended opportunistic
+// holds parked at foreverCycles are ignored.
 func (t *Timeline) Horizon(from int64) int64 {
-	h := from
-	for _, r := range t.res {
-		if r.End > h && r.End < foreverCycles/2 {
-			h = r.End
-		}
+	if h := t.idx.maxFiniteEnd(); h > from {
+		return h
 	}
-	return h
+	return from
 }

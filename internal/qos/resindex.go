@@ -1,0 +1,217 @@
+package qos
+
+import "math"
+
+// The reservation index: a treap over live reservations keyed by
+// (Start, ID), with per-subtree End aggregates. It is the profile's
+// companion — the profile answers "where does a vector fit", the index
+// answers "which reservation is that" — and makes the remaining O(n)
+// scans of the flat-list Timeline logarithmic:
+//
+//	eviction victim covering instant x    maxEnd descent     O(log² n)
+//	any reservation ended by now (Prune)  minEnd descent     O(log n)
+//	render horizon (last finite end)      maxFin aggregate   O(1)
+//	time-ordered iteration                in-order walk      O(n)
+//
+// Node pointers are stable across rotations, so Timeline's id→node map
+// stays valid through every mutation. End and Vec are mutated via
+// detach/reattach (TruncateAt) or in place (ShrinkVec — Vec feeds no
+// aggregate here).
+
+// finiteEndCeiling separates real completions from the open-ended
+// opportunistic holds parked at foreverCycles; ends at or beyond it are
+// invisible to the render horizon, exactly like the naive scan's filter.
+const finiteEndCeiling = foreverCycles / 2
+
+type resNode struct {
+	left, right *resNode
+	prio        uint64
+	res         Reservation
+	maxEnd      int64 // max End over subtree
+	minEnd      int64 // min End over subtree
+	maxFin      int64 // max End over subtree among End < finiteEndCeiling
+}
+
+// resKeyLess orders reservations by (Start, ID) — admission order within
+// a start instant, since IDs are issued monotonically.
+func resKeyLess(a, b Reservation) bool {
+	if a.Start != b.Start {
+		return a.Start < b.Start
+	}
+	return a.ID < b.ID
+}
+
+func (n *resNode) pull() {
+	n.maxEnd = n.res.End
+	n.minEnd = n.res.End
+	n.maxFin = math.MinInt64
+	if n.res.End < finiteEndCeiling {
+		n.maxFin = n.res.End
+	}
+	for _, c := range [2]*resNode{n.left, n.right} {
+		if c == nil {
+			continue
+		}
+		if c.maxEnd > n.maxEnd {
+			n.maxEnd = c.maxEnd
+		}
+		if c.minEnd < n.minEnd {
+			n.minEnd = c.minEnd
+		}
+		if c.maxFin > n.maxFin {
+			n.maxFin = c.maxFin
+		}
+	}
+}
+
+// resIndex is the treap plus its deterministic priority stream.
+type resIndex struct {
+	root *resNode
+	rng  uint64
+}
+
+// insert attaches nn (a fresh or detached node) into the treap. The
+// node's res must carry its final key; links are reset here.
+func (ix *resIndex) insert(nn *resNode) {
+	nn.left, nn.right = nil, nil
+	if nn.prio == 0 {
+		nn.prio = splitmix64(&ix.rng)
+	}
+	ix.root = resIns(ix.root, nn)
+}
+
+func resIns(n, nn *resNode) *resNode {
+	if n == nil {
+		nn.pull()
+		return nn
+	}
+	if resKeyLess(nn.res, n.res) {
+		n.left = resIns(n.left, nn)
+		if n.left.prio > n.prio {
+			n = resRotRight(n)
+		}
+	} else {
+		n.right = resIns(n.right, nn)
+		if n.right.prio > n.prio {
+			n = resRotLeft(n)
+		}
+	}
+	n.pull()
+	return n
+}
+
+func resRotRight(n *resNode) *resNode {
+	l := n.left
+	n.left = l.right
+	l.right = n
+	n.pull()
+	return l
+}
+
+func resRotLeft(n *resNode) *resNode {
+	r := n.right
+	n.right = r.left
+	r.left = n
+	n.pull()
+	return r
+}
+
+// remove detaches the node with key (start, id); the caller already owns
+// the node pointer via the id map, so nothing is returned.
+func (ix *resIndex) remove(key Reservation) {
+	ix.root = resDel(ix.root, key)
+}
+
+func resDel(n *resNode, key Reservation) *resNode {
+	if n == nil {
+		return nil
+	}
+	if n.res.ID == key.ID && n.res.Start == key.Start {
+		return resMerge(n.left, n.right)
+	}
+	if resKeyLess(key, n.res) {
+		n.left = resDel(n.left, key)
+	} else {
+		n.right = resDel(n.right, key)
+	}
+	n.pull()
+	return n
+}
+
+func resMerge(a, b *resNode) *resNode {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if a.prio > b.prio {
+		a.right = resMerge(a.right, b)
+		a.pull()
+		return a
+	}
+	b.left = resMerge(a, b.left)
+	b.pull()
+	return b
+}
+
+// victim returns the reservation covering instant at (Start ≤ at < End)
+// with the largest (Start, ID) — the SetCapacity eviction order: latest
+// start, then largest ID. maxEnd prunes subtrees that ended by at.
+func (ix *resIndex) victim(at int64) *resNode {
+	return resVictim(ix.root, at)
+}
+
+func resVictim(n *resNode, at int64) *resNode {
+	if n == nil || n.maxEnd <= at {
+		return nil
+	}
+	if n.res.Start <= at {
+		if v := resVictim(n.right, at); v != nil {
+			return v
+		}
+		if n.res.End > at {
+			return n
+		}
+	}
+	return resVictim(n.left, at)
+}
+
+// endedBy returns any reservation with End ≤ now, or nil — the Prune
+// work loop peels these off one at a time.
+func (ix *resIndex) endedBy(now int64) *resNode {
+	n := ix.root
+	for n != nil {
+		if n.minEnd > now {
+			return nil
+		}
+		if n.left != nil && n.left.minEnd <= now {
+			n = n.left
+			continue
+		}
+		if n.res.End <= now {
+			return n
+		}
+		n = n.right
+	}
+	return nil
+}
+
+// maxFiniteEnd returns the largest End below finiteEndCeiling, or
+// math.MinInt64 when no reservation has a finite end.
+func (ix *resIndex) maxFiniteEnd() int64 {
+	if ix.root == nil {
+		return math.MinInt64
+	}
+	return ix.root.maxFin
+}
+
+// appendAll appends every reservation in (Start, ID) order.
+func resAppend(n *resNode, out []Reservation) []Reservation {
+	if n == nil {
+		return out
+	}
+	out = resAppend(n.left, out)
+	out = append(out, n.res)
+	return resAppend(n.right, out)
+}

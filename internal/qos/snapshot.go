@@ -66,10 +66,9 @@ func RestoreLAC(r io.Reader, opts ...LACOption) (*LAC, error) {
 		}
 		// Re-reserve through the timeline so capacity invariants are
 		// re-verified; a corrupted snapshot fails loudly here.
-		if !l.timeline.fits(res.Vec, res.Start, res.End-res.Start) {
+		if !l.timeline.restore(res) {
 			return nil, fmt.Errorf("qos: snapshot reservations exceed capacity at %d", res.Start)
 		}
-		l.timeline.res = append(l.timeline.res, res)
 	}
 	l.timeline.nextID = snap.NextID
 	if snap.ResByJob != nil {

@@ -2,8 +2,7 @@ package qos
 
 import (
 	"fmt"
-	"slices"
-	"sort"
+	"math"
 )
 
 // Reservation is one job's hold on resources over a time interval
@@ -19,13 +18,22 @@ type Reservation struct {
 // Timeline tracks resource reservations against a fixed capacity vector
 // and answers the admission controller's fit queries. It is the "list of
 // vectors that encode processor core and cache capacity resources and
-// the timeslots in which they are available" of §5, stored as the dual:
-// the reservations themselves.
+// the timeslots in which they are available" of §5, stored as an
+// indexed usage profile: a balanced tree of time boundaries carrying
+// usage deltas and prefix-sum aggregates (profile.go), a companion tree
+// of reservations keyed by (Start, ID) with end aggregates
+// (resindex.go), and an id→node map. Every admission query and mutation
+// is O(log n) in live reservations; behavior is bit-identical to the
+// naive reservation-list scan it replaced, which survives as the
+// test-only naiveTimeline reference (naive_timeline_test.go) that the
+// differential fuzzer checks this implementation against.
 type Timeline struct {
-	capacity ResourceVector
-	res      []Reservation
-	nextID   int
-	cands    []int64 // fit-query scratch, reused across calls
+	capacity  ResourceVector
+	prof      profile
+	idx       resIndex
+	byID      map[int]*resNode
+	nextID    int
+	avScratch []AvailabilityStep // Render scratch, reused across calls
 }
 
 // NewTimeline builds a timeline for a node with the given capacity.
@@ -33,24 +41,27 @@ func NewTimeline(capacity ResourceVector) *Timeline {
 	if !capacity.Valid() || capacity.IsZero() {
 		panic(fmt.Sprintf("qos: invalid timeline capacity %v", capacity))
 	}
-	return &Timeline{capacity: capacity, nextID: 1}
+	return &Timeline{
+		capacity: capacity,
+		byID:     map[int]*resNode{},
+		nextID:   1,
+		// Distinct deterministic seeds keep the two treap shapes
+		// independent yet reproducible run to run.
+		prof: profile{rng: 0x9e3779b97f4a7c15},
+		idx:  resIndex{rng: 0xd1b54a32d192ed03},
+	}
 }
 
 // Capacity returns the node's total capacity vector.
 func (t *Timeline) Capacity() ResourceVector { return t.capacity }
 
 // Len returns the number of live reservations.
-func (t *Timeline) Len() int { return len(t.res) }
+func (t *Timeline) Len() int { return len(t.byID) }
 
-// UsageAt returns the summed reservation vector at time x.
+// UsageAt returns the summed reservation vector at time x: the profile
+// prefix sum over boundaries ≤ x.
 func (t *Timeline) UsageAt(x int64) ResourceVector {
-	var u ResourceVector
-	for _, r := range t.res {
-		if r.Start <= x && x < r.End {
-			u = u.Add(r.Vec)
-		}
-	}
-	return u
+	return t.prof.prefixAt(x).vec()
 }
 
 // AvailableAt returns capacity minus usage at time x.
@@ -59,86 +70,95 @@ func (t *Timeline) AvailableAt(x int64) ResourceVector {
 }
 
 // fits reports whether adding vec over [start, start+dur) stays within
-// capacity at every instant. It checks usage at the start and at every
-// reservation boundary inside the window — usage is piecewise constant
-// between boundaries.
+// capacity at every instant — no over-limit instant inside the window.
+// Usage is piecewise constant, so the profile checks the window start
+// and prunes to boundaries whose prefix could exceed the headroom.
 func (t *Timeline) fits(vec ResourceVector, start, dur int64) bool {
-	end := start + dur
-	if !t.UsageAt(start).Add(vec).Fits(t.capacity) {
-		return false
+	hi := start + dur
+	if hi <= start {
+		// Degenerate window: the naive reference still checks the start
+		// instant, and no boundary can sit strictly inside one cycle.
+		hi = start + 1
 	}
-	for _, r := range t.res {
-		if r.Start > start && r.Start < end {
-			if !t.UsageAt(r.Start).Add(vec).Fits(t.capacity) {
-				return false
-			}
-		}
-	}
-	return true
+	_, _, over := t.prof.firstOver(start, hi, limitFor(t.capacity, vec))
+	return !over
 }
 
 // EarliestFit returns the earliest start ≥ now at which vec fits for dur
 // cycles with the window ending no later than deadline (0 = no
 // deadline). ok is false when no such slot exists. This is the FCFS
 // admission test of §5.
+//
+// The search walks the profile instead of scanning candidates: probe the
+// window at s; if some instant overflows in dimension d, jump s to the
+// next boundary where d's usage is back under the headroom (a
+// reservation end — availability only increases at ends, so no start
+// between the blockage and that boundary can fit) and re-probe. Each
+// round is O(log n) and skips an entire blocked run, so a fully packed
+// timeline resolves in a handful of descents.
 func (t *Timeline) EarliestFit(vec ResourceVector, now, dur, deadline int64) (start int64, ok bool) {
 	if !vec.Fits(t.capacity) || dur <= 0 {
 		return 0, false
 	}
-	// Candidate starts: now itself and every reservation end after now —
-	// availability only increases at reservation ends.
-	cands := append(t.cands[:0], now)
-	for _, r := range t.res {
-		if r.End > now {
-			cands = append(cands, r.End)
-		}
-	}
-	t.cands = cands
-	slices.Sort(cands)
-	for _, s := range cands {
+	limit := limitFor(t.capacity, vec)
+	s := now
+	for {
 		if deadline != 0 && s+dur > deadline {
 			return 0, false // candidates ascend; later ones are worse
 		}
-		if t.fits(vec, s, dur) {
+		at, d, over := t.prof.firstOver(s, s+dur, limit)
+		if !over {
 			return s, true
 		}
+		next, ok := fitDimAfter(t.prof.root, 0, at, d, limit[d])
+		if !ok {
+			return 0, false // dimension d never frees up again
+		}
+		s = next
 	}
-	return 0, false
 }
 
 // LatestFit returns the latest start ≥ now such that vec fits for dur
 // cycles ending no later than deadline. It is used by automatic mode
 // downgrade, which places the fall-back reservation "as far away as
 // possible" (§3.4). ok is false when no slot exists.
+//
+// The mirror of EarliestFit's walk: probe the window at s descending; if
+// it overlaps an over-limit segment, find where that segment's blocked
+// run in the offending dimension begins (a reservation start — usage
+// only rises at starts) and slide the window to end there.
 func (t *Timeline) LatestFit(vec ResourceVector, now, dur, deadline int64) (start int64, ok bool) {
 	if !vec.Fits(t.capacity) || dur <= 0 || deadline == 0 || deadline-dur < now {
 		return 0, false
 	}
-	// Candidate starts, descending: deadline−dur, and for every
-	// reservation start s in range, s−dur (ending just as that
-	// reservation begins).
-	cands := append(t.cands[:0], deadline-dur)
-	for _, r := range t.res {
-		if c := r.Start - dur; c >= now && c+dur <= deadline {
-			cands = append(cands, c)
+	limit := limitFor(t.capacity, vec)
+	s := deadline - dur
+	for {
+		if s < now {
+			return 0, false
 		}
-	}
-	t.cands = cands
-	slices.SortFunc(cands, func(a, b int64) int {
-		switch {
-		case a > b:
-			return -1
-		case a < b:
-			return 1
+		k, d, over := lastOverBefore(t.prof.root, uvec{}, s+dur, limit)
+		if over {
+			// k starts the last over-limit segment below the window end;
+			// it only blocks if that segment reaches into the window.
+			if nk, has := t.prof.nextKey(k); has && nk <= s {
+				over = false
+			}
 		}
-		return 0
-	})
-	for _, s := range cands {
-		if t.fits(vec, s, dur) {
+		if !over {
 			return s, true
 		}
+		// Walk to the head of the blocked run in dimension d containing
+		// k: the first boundary after the last fitting one (or the very
+		// first boundary when d has been over from the beginning).
+		var w int64
+		if z, ok := lastFitDimBefore(t.prof.root, 0, k, d, limit[d]); ok {
+			w, _ = t.prof.nextKey(z)
+		} else {
+			w, _ = t.prof.minKey()
+		}
+		s = w - dur
 	}
-	return 0, false
 }
 
 // Reserve records a reservation and returns its ID. It panics if the
@@ -150,18 +170,34 @@ func (t *Timeline) Reserve(jobID int, vec ResourceVector, start, dur int64) int 
 	}
 	id := t.nextID
 	t.nextID++
-	t.res = append(t.res, Reservation{ID: id, JobID: jobID, Vec: vec, Start: start, End: start + dur})
+	t.insert(Reservation{ID: id, JobID: jobID, Vec: vec, Start: start, End: start + dur})
 	return id
+}
+
+// insert threads a reservation through all three structures.
+func (t *Timeline) insert(res Reservation) {
+	v := toUvec(res.Vec)
+	t.prof.update(res.Start, v, +1)
+	t.prof.update(res.End, v.neg(), +1)
+	n := &resNode{res: res}
+	t.idx.insert(n)
+	t.byID[res.ID] = n
+}
+
+// drop is insert's inverse.
+func (t *Timeline) drop(n *resNode) {
+	v := toUvec(n.res.Vec)
+	t.prof.update(n.res.Start, v.neg(), -1)
+	t.prof.update(n.res.End, v, -1)
+	t.idx.remove(n.res)
+	delete(t.byID, n.res.ID)
 }
 
 // Release removes a reservation by ID; it is a no-op for unknown IDs
 // (already released).
 func (t *Timeline) Release(id int) {
-	for i, r := range t.res {
-		if r.ID == id {
-			t.res = append(t.res[:i], t.res[i+1:]...)
-			return
-		}
+	if n, ok := t.byID[id]; ok {
+		t.drop(n)
 	}
 }
 
@@ -170,15 +206,22 @@ func (t *Timeline) Release(id int) {
 // timeslot, the reserved resources can be reclaimed"). If x ≤ start the
 // reservation is removed entirely.
 func (t *Timeline) TruncateAt(id int, x int64) {
-	for i := range t.res {
-		if t.res[i].ID == id {
-			if x <= t.res[i].Start {
-				t.Release(id)
-			} else if x < t.res[i].End {
-				t.res[i].End = x
-			}
-			return
-		}
+	n, ok := t.byID[id]
+	if !ok {
+		return
+	}
+	switch {
+	case x <= n.res.Start:
+		t.drop(n)
+	case x < n.res.End:
+		// Move the end edge in the profile, then reattach the node so
+		// the index's End aggregates see the new value.
+		v := toUvec(n.res.Vec)
+		t.prof.update(n.res.End, v, -1)
+		t.prof.update(x, v.neg(), +1)
+		t.idx.remove(n.res)
+		n.res.End = x
+		t.idx.insert(n)
 	}
 }
 
@@ -196,49 +239,20 @@ func (t *Timeline) SetCapacity(capacity ResourceVector, from int64) []Reservatio
 		panic(fmt.Sprintf("qos: invalid timeline capacity %v", capacity))
 	}
 	t.capacity = capacity
+	limit := limitFor(capacity, ResourceVector{})
 	var evicted []Reservation
 	for {
-		at, over := t.overcommittedAt(from)
+		at, _, over := t.prof.firstOver(from, math.MaxInt64/2, limit)
 		if !over {
 			return evicted
 		}
-		// Victim: among reservations covering the overcommitted instant,
-		// the one admitted latest.
-		v := -1
-		for i, r := range t.res {
-			if r.Start > at || r.End <= at {
-				continue
-			}
-			if v == -1 || r.Start > t.res[v].Start ||
-				(r.Start == t.res[v].Start && r.ID > t.res[v].ID) {
-				v = i
-			}
-		}
-		if v == -1 {
+		v := t.idx.victim(at)
+		if v == nil {
 			return evicted // capacity itself is overcommitted by nothing
 		}
-		evicted = append(evicted, t.res[v])
-		t.res = append(t.res[:v], t.res[v+1:]...)
+		evicted = append(evicted, v.res)
+		t.drop(v)
 	}
-}
-
-// overcommittedAt finds the first instant ≥ from where usage exceeds
-// capacity. Usage is piecewise constant, so checking `from` and every
-// reservation start after it covers all instants.
-func (t *Timeline) overcommittedAt(from int64) (int64, bool) {
-	at, over := int64(0), false
-	check := func(x int64) {
-		if (!over || x < at) && !t.UsageAt(x).Fits(t.capacity) {
-			at, over = x, true
-		}
-	}
-	check(from)
-	for _, r := range t.res {
-		if r.Start > from && r.End > from {
-			check(r.Start)
-		}
-	}
-	return at, over
 }
 
 // ShrinkVec replaces reservation id's vector with a smaller one — the
@@ -246,47 +260,54 @@ func (t *Timeline) overcommittedAt(from int64) (int64, bool) {
 // component (growth would need a fresh fit check) and reports whether
 // the reservation was found and shrunk.
 func (t *Timeline) ShrinkVec(id int, vec ResourceVector) bool {
-	for i := range t.res {
-		if t.res[i].ID == id {
-			if !vec.Fits(t.res[i].Vec) {
-				return false
-			}
-			t.res[i].Vec = vec
-			return true
-		}
+	n, ok := t.byID[id]
+	if !ok {
+		return false
 	}
-	return false
+	if !vec.Fits(n.res.Vec) {
+		return false
+	}
+	d := toUvec(vec).add(toUvec(n.res.Vec).neg())
+	t.prof.update(n.res.Start, d, 0)
+	t.prof.update(n.res.End, d.neg(), 0)
+	n.res.Vec = vec // Vec feeds no index aggregate; in-place is safe
+	return true
 }
 
 // Get returns a reservation by ID.
 func (t *Timeline) Get(id int) (Reservation, bool) {
-	for _, r := range t.res {
-		if r.ID == id {
-			return r, true
-		}
+	if n, ok := t.byID[id]; ok {
+		return n.res, true
 	}
 	return Reservation{}, false
 }
 
-// Prune drops reservations that ended at or before now, bounding the
-// admission test's scan cost.
+// Prune drops reservations that ended at or before now, keeping the
+// tree at the live working set.
 func (t *Timeline) Prune(now int64) {
-	kept := t.res[:0]
-	for _, r := range t.res {
-		if r.End > now {
-			kept = append(kept, r)
+	for {
+		n := t.idx.endedBy(now)
+		if n == nil {
+			return
 		}
+		t.drop(n)
 	}
-	t.res = kept
 }
 
 // Reservations returns a copy of the live reservations, sorted by start
-// time, for diagnostics and trace rendering.
+// time (ID on ties), for diagnostics and trace rendering.
 func (t *Timeline) Reservations() []Reservation {
-	out := make([]Reservation, len(t.res))
-	copy(out, t.res)
-	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
-	return out
+	return resAppend(t.idx.root, make([]Reservation, 0, len(t.byID)))
+}
+
+// restore re-inserts a snapshot reservation, preserving its ID, after
+// re-verifying the capacity invariant. Reports whether it fit.
+func (t *Timeline) restore(res Reservation) bool {
+	if !t.fits(res.Vec, res.Start, res.End-res.Start) {
+		return false
+	}
+	t.insert(res)
+	return true
 }
 
 // AvailabilityStep is one segment of the piecewise-constant availability
@@ -301,30 +322,27 @@ type AvailabilityStep struct {
 // (GAC heuristics, visualizations) consume this instead of re-deriving
 // it from raw reservations.
 func (t *Timeline) Availability(from, to int64) []AvailabilityStep {
+	return t.AppendAvailability(nil, from, to)
+}
+
+// AppendAvailability is Availability appending into dst — zero-alloc
+// when dst has capacity for the profile's steps (one per boundary in
+// the window, plus one). The profile's boundaries are already in time
+// order, so one in-order walk cuts every step.
+func (t *Timeline) AppendAvailability(dst []AvailabilityStep, from, to int64) []AvailabilityStep {
 	if to <= from {
-		return nil
+		return dst
 	}
-	points := map[int64]bool{from: true, to: true}
-	for _, r := range t.res {
-		if r.Start > from && r.Start < to {
-			points[r.Start] = true
-		}
-		if r.End > from && r.End < to {
-			points[r.End] = true
-		}
+	st := walkState{
+		run:   t.prof.prefixAt(from),
+		steps: dst,
+		prev:  from,
+		cap:   t.capacity,
 	}
-	cuts := make([]int64, 0, len(points))
-	for p := range points {
-		cuts = append(cuts, p)
-	}
-	sort.Slice(cuts, func(i, j int) bool { return cuts[i] < cuts[j] })
-	var out []AvailabilityStep
-	for i := 0; i+1 < len(cuts); i++ {
-		out = append(out, AvailabilityStep{
-			Start: cuts[i],
-			End:   cuts[i+1],
-			Free:  t.AvailableAt(cuts[i]),
-		})
-	}
-	return out
+	st.free = t.capacity.Sub(st.run.vec())
+	// The walk accumulates deltas from zero; prefixAt(from) was only
+	// needed for the first step's Free, so rewind the running sum.
+	st.run = uvec{}
+	walkAvail(t.prof.root, &st, from, to)
+	return append(st.steps, AvailabilityStep{Start: st.prev, End: to, Free: st.free})
 }

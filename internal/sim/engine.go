@@ -92,6 +92,7 @@ type Runner struct {
 	latActive []float64
 	latFactor float64
 	fstats    FaultStats
+	refitIDs  []int // refitReservations scratch, reused across faults
 
 	sc epochScratch
 }

@@ -196,19 +196,25 @@ func (r *Runner) refitReservations() {
 	}
 	// One readmission per distinct job, in admission (ID) order so the
 	// earliest-admitted evictee gets first pick of the remaining slots.
-	seen := map[int]bool{}
-	var ids []int
+	// Sort-then-dedup on a reused scratch slice keeps a fault storm from
+	// allocating a fresh map per transition.
+	ids := r.refitIDs[:0]
 	for _, res := range evicted {
-		if !seen[res.JobID] {
-			seen[res.JobID] = true
-			ids = append(ids, res.JobID)
-		}
+		ids = append(ids, res.JobID)
 	}
 	for i := 1; i < len(ids); i++ {
 		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
 			ids[j], ids[j-1] = ids[j-1], ids[j]
 		}
 	}
+	uniq := ids[:0]
+	for i, id := range ids {
+		if i == 0 || id != ids[i-1] {
+			uniq = append(uniq, id)
+		}
+	}
+	ids = uniq
+	r.refitIDs = ids[:0]
 	for _, id := range ids {
 		for _, j := range r.accepted {
 			if j.ID == id {
