@@ -49,11 +49,12 @@ fuzz:
 bench:
 	scripts/bench.sh
 
-# bench-smoke compiles and runs the timeline admission benches once
-# each (-benchtime=1x): a CI guard that the O(log n) structure and its
-# benchmarks keep building and running — timings are meaningless here.
+# bench-smoke compiles and runs the timeline admission and cluster
+# dispatch benches once each (-benchtime=1x): a CI guard that the
+# O(log n) structures and their benchmarks keep building and running —
+# timings are meaningless here.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkTimeline' -benchtime=1x -timeout 10m .
+	$(GO) test -run '^$$' -bench 'BenchmarkTimeline|BenchmarkClusterDispatch' -benchtime=1x -timeout 10m .
 
 clean:
 	$(GO) clean ./...

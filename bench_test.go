@@ -14,6 +14,7 @@ package cmpqos
 
 import (
 	"bytes"
+	"fmt"
 	"io"
 	"strings"
 	"testing"
@@ -509,6 +510,36 @@ func BenchmarkClusterScaling(b *testing.B) {
 			last := r.Rows[len(r.Rows)-1]
 			b.ReportMetric(last.JobsPerGcycle, "jobs-per-Gcyc-at-4-nodes")
 		}
+	}
+}
+
+// BenchmarkClusterDispatch measures the GAC fleet at datacenter node
+// counts: a full streaming run (bestfit dispatch, skip-idle stepping)
+// with four jobs per node, reporting wall time per arrival. The
+// per-arrival cost growing far slower than the node count is the
+// O(log N) dispatch property.
+func BenchmarkClusterDispatch(b *testing.B) {
+	for _, nodes := range []int{64, 1000, 5000} {
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			node := sim.DefaultConfig(sim.Hybrid2, workload.Single("bzip2"))
+			node.JobInstr = 2_000_000
+			node.StealIntervalInstr = 100_000
+			cfg := sim.ClusterConfig{Nodes: nodes, Node: node, AcceptTarget: 4 * nodes}
+			arrivals := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cr, err := sim.NewCluster(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep, err := cr.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				arrivals += rep.Accepted + rep.RejectedProbes
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(arrivals), "ns/arrival")
+		})
 	}
 }
 

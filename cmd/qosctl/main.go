@@ -47,6 +47,7 @@ func main() {
 		sched     = flag.String("sched", "", "with -simulate: core scheduler policy: "+cli.PolicyList(sim.SchedulerNames())+" (empty = policy default)")
 		alloc     = flag.String("alloc", "", "with -simulate: L2 way allocator policy: "+cli.PolicyList(sim.AllocatorNames())+" (empty = policy default)")
 		admit     = flag.String("admit", "", "with -simulate: admission placement policy: "+cli.PolicyList(sim.AdmissionNames())+" (empty = fcfs)")
+		dispatch  = flag.String("dispatch", "", "GAC placement strategy: bestfit|worstfit|oversub|locality (empty = bestfit)")
 		timeout   = flag.Duration("timeout", 0, "abort the run after this long (e.g. 30s; 0 = no limit)")
 	)
 	flag.Parse()
@@ -86,6 +87,9 @@ func main() {
 		nodes[i] = qos.NewLAC(spec.NodeCapacity)
 	}
 	gac := qos.NewGAC(nodes...)
+	if err := gac.SetStrategy(*dispatch); err != nil {
+		cli.Usage(prog, "%v", err)
+	}
 
 	fmt.Printf("cluster: %d node(s) of %v at %s\n\n", spec.NodeCount, spec.NodeCapacity, *clock)
 	fmt.Println("job        mode            node   start(ms)  reserved(ms)      outcome")

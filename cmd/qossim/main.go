@@ -46,12 +46,18 @@ func main() {
 		sched     = flag.String("sched", "", "core scheduler policy: "+cli.PolicyList(sim.SchedulerNames())+" (empty = policy default)")
 		alloc     = flag.String("alloc", "", "L2 way allocator policy: "+cli.PolicyList(sim.AllocatorNames())+" (empty = policy default)")
 		admit     = flag.String("admit", "", "admission placement policy: "+cli.PolicyList(sim.AdmissionNames())+" (empty = fcfs)")
+		nodes     = flag.Int("nodes", 0, "cluster experiment: fleet mode at this node count (0 = legacy 1/2/4 scaling sweep)")
+		jobs      = flag.Int("jobs", 0, "cluster fleet mode: total accepted jobs (0 = 10 per node)")
+		dispatch  = flag.String("dispatch", "", "cluster dispatch policy: "+cli.PolicyList(sim.DispatcherNames())+" (empty = sweep all in fleet mode, bestfit otherwise)")
 		timeout   = flag.Duration("timeout", 0, "abort the run after this long (e.g. 2m; 0 = no limit)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this path")
 		memProf   = flag.String("memprofile", "", "write a heap profile (taken at exit) to this path")
 	)
 	flag.Parse()
 	if err := sim.ValidatePolicyNames(*sched, *alloc, *admit); err != nil {
+		cli.Usage(prog, "%v", err)
+	}
+	if err := sim.ValidateDispatcherName(*dispatch); err != nil {
 		cli.Usage(prog, "%v", err)
 	}
 
@@ -80,6 +86,9 @@ func main() {
 		Scheduler:        *sched,
 		Allocator:        *alloc,
 		Admission:        *admit,
+		ClusterNodes:     *nodes,
+		ClusterJobs:      *jobs,
+		Dispatch:         *dispatch,
 	}
 	if *parallel == 0 {
 		opts.Workers = -1 // flag value 0 means "all CPUs"

@@ -20,20 +20,45 @@ type ClusterRow struct {
 	JobsPerGcycle  float64
 }
 
+// FleetRow is one dispatcher's fleet-level outcome at a fixed node
+// count.
+type FleetRow struct {
+	Dispatcher    string
+	Nodes         int
+	Jobs          int
+	Accepted      int
+	Rejected      int
+	Terminated    int
+	Violations    int
+	HitRate       float64
+	Utilization   float64
+	Makespan      int64
+	JobsPerGcycle float64
+}
+
 // ClusterResult exercises the paper's Figure 2 working environment: a
 // server of CMP nodes behind a Global Admission Controller. Scaling the
 // node count with the job count should scale throughput near-linearly
 // while the per-job QoS guarantee (100% reserved-job deadline hit rate)
 // is preserved — the property that makes the GAC/LAC split composable.
+// Fleet mode (Options.ClusterNodes > 0) instead holds the node count
+// fixed and sweeps the registered dispatch policies, reporting
+// fleet-level violation/utilization/rejection outcomes.
 type ClusterResult struct {
-	Rows []ClusterRow
+	Rows  []ClusterRow
+	Fleet []FleetRow
 }
 
-// Cluster sweeps 1, 2, and 4 nodes with 10 jobs per node. The nodes of
-// one cluster advance in lock-step behind a shared GAC, so a single run
-// cannot be split up — the fan-out is across the three sweep points,
-// each a self-contained cluster simulation.
+// Cluster sweeps 1, 2, and 4 nodes with 10 jobs per node (the legacy
+// scaling table), or — when Options.ClusterNodes is set — runs the
+// fleet dispatcher sweep at that node count. The nodes of one cluster
+// advance in lock-step behind a shared GAC, so a single run cannot be
+// split across configurations; in fleet mode the workers instead shard
+// the per-epoch node stepping inside each run.
 func Cluster(o Options) (*ClusterResult, error) {
+	if o.ClusterNodes > 0 {
+		return clusterFleet(o)
+	}
 	sweep := []int{1, 2, 4}
 	workers := o.Workers
 	if workers == 0 {
@@ -70,8 +95,68 @@ func Cluster(o Options) (*ClusterResult, error) {
 	return &ClusterResult{Rows: rows}, nil
 }
 
-// Render prints the scaling table.
+// clusterFleet runs the fleet dispatcher sweep: one cluster simulation
+// per dispatcher at the configured node count, stepping nodes on the
+// options' worker bound (output is worker-count independent).
+func clusterFleet(o Options) (*ClusterResult, error) {
+	names := []string{o.Dispatch}
+	if o.Dispatch == "" {
+		names = sim.DispatcherNames()
+	}
+	jobs := o.ClusterJobs
+	if jobs <= 0 {
+		jobs = 10 * o.ClusterNodes
+	}
+	workers := o.Workers
+	if workers == 0 {
+		workers = 1
+	}
+	res := &ClusterResult{}
+	for _, name := range names {
+		cfg := sim.ClusterConfig{
+			Nodes:        o.ClusterNodes,
+			Node:         o.config(sim.Hybrid2, workload.Single("bzip2")),
+			AcceptTarget: jobs,
+			Dispatcher:   name,
+		}
+		cr, err := sim.NewCluster(cfg)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := cr.RunParallel(o.ctx(), workers)
+		if err != nil {
+			return nil, fmt.Errorf("fleet %s on %d nodes: %w", name, o.ClusterNodes, err)
+		}
+		res.Fleet = append(res.Fleet, FleetRow{
+			Dispatcher:    rep.Dispatcher,
+			Nodes:         rep.Nodes,
+			Jobs:          jobs,
+			Accepted:      rep.Accepted,
+			Rejected:      rep.RejectedProbes,
+			Terminated:    rep.Terminated,
+			Violations:    rep.Violations,
+			HitRate:       rep.DeadlineHitRate,
+			Utilization:   rep.Utilization,
+			Makespan:      rep.TotalCycles,
+			JobsPerGcycle: float64(rep.Accepted) / (float64(rep.TotalCycles) / 1e9),
+		})
+	}
+	return res, nil
+}
+
+// Render prints the scaling table, or the fleet sweep in fleet mode.
 func (r *ClusterResult) Render(w io.Writer) {
+	if len(r.Fleet) > 0 {
+		fmt.Fprintf(w, "Fleet sweep — GAC dispatch policies over %d CMP nodes (Hybrid-2, bzip2, %d jobs)\n",
+			r.Fleet[0].Nodes, r.Fleet[0].Jobs)
+		fmt.Fprintln(w, "dispatcher   accepted   rejected   violations   hit-rate   utilization   makespan   jobs/Gcyc")
+		for _, row := range r.Fleet {
+			fmt.Fprintf(w, "%-10s  %9d  %9d  %11d  %8s  %11.4f  %9s  %10.2f\n",
+				row.Dispatcher, row.Accepted, row.Rejected, row.Violations,
+				pct(row.HitRate), row.Utilization, mcycles(row.Makespan), row.JobsPerGcycle)
+		}
+		return
+	}
 	fmt.Fprintln(w, "Figure 2 environment — GAC over N CMP nodes (Hybrid-2, bzip2, 10 jobs/node)")
 	fmt.Fprintln(w, "nodes   jobs   accepted   rejected-probes   makespan   hit-rate   jobs/Gcyc")
 	for _, row := range r.Rows {

@@ -61,6 +61,15 @@ type Options struct {
 	Scheduler string
 	Allocator string
 	Admission string
+	// ClusterNodes switches the cluster experiment into fleet mode: a
+	// dispatcher sweep at this node count instead of the legacy 1/2/4-node
+	// scaling table. ClusterJobs is the fleet accept target (0 = 10 jobs
+	// per node); Dispatch restricts the sweep to one registered dispatcher
+	// (empty sweeps them all). The qossim -nodes/-jobs/-dispatch flags
+	// wire here.
+	ClusterNodes int
+	ClusterJobs  int
+	Dispatch     string
 }
 
 // ctx resolves the options' context, defaulting to background.

@@ -127,17 +127,50 @@ func (l *LAC) Counters() (probes, admits, rejects int64) {
 // Probe answers whether a request could be accepted, without committing
 // anything. The GAC uses this to locate a willing node.
 func (l *LAC) Probe(req Request) Decision {
-	return l.decide(req, false)
+	return l.decide(req, false, true)
+}
+
+// Peek answers Probe's question without charging the modeled controller
+// occupancy or touching any counter: the pure placement answer for this
+// node's current timeline. Dispatch indexes (the cluster layer's O(log N)
+// GAC) use it to maintain per-node earliest-feasible-start summaries —
+// bookkeeping lookups the real controller would not bill as admission
+// tests, so they must not inflate the §7.5 occupancy model.
+func (l *LAC) Peek(req Request) Decision {
+	return l.decide(req, false, false)
 }
 
 // Admit runs the admission test and, on acceptance, commits the
 // reservation (reserved modes) or registers the job (Opportunistic).
 func (l *LAC) Admit(req Request) Decision {
-	return l.decide(req, true)
+	return l.decide(req, true, true)
 }
 
-func (l *LAC) decide(req Request, commit bool) Decision {
-	l.charge()
+// EarliestOpportunistic returns the earliest cycle ≥ ta at which an
+// opportunistic admission could succeed given the current reservation
+// schedule and live opportunistic population: the first instant enough
+// cores are free of reserved work that one more opportunistic job fits
+// under the per-core pin cap. ok is false when no such instant is on
+// the schedule. The answer stays a valid lower bound under admissions
+// of any kind (reservations only remove future capacity, opportunistic
+// admissions only raise the cap's demand); it moves earlier only when
+// an opportunistic job finishes or a reservation is evicted early, so
+// callers caching it must invalidate on those events.
+func (l *LAC) EarliestOpportunistic(ta int64) (start int64, ok bool) {
+	if l.oppPerCore <= 0 {
+		return 0, false
+	}
+	need := l.oppLive/l.oppPerCore + 1
+	if need > l.timeline.Capacity().Cores {
+		return 0, false
+	}
+	return l.timeline.EarliestFit(ResourceVector{Cores: need}, ta, 1, 0)
+}
+
+func (l *LAC) decide(req Request, commit, charge bool) Decision {
+	if charge {
+		l.charge()
+	}
 	reject := func(reason string) Decision {
 		if commit {
 			l.rejects++
@@ -331,8 +364,25 @@ func (l *LAC) Complete(jobID int, mode Mode, now int64) {
 // rejecting (or letting the caller negotiate) when no node can satisfy
 // the target.
 type GAC struct {
-	nodes []*LAC
+	nodes    []*LAC
+	strategy gacStrategy
 }
+
+// gacStrategy selects how Submit picks among willing nodes. The names
+// mirror the sim layer's dispatcher registry; the GAC keeps its own tiny
+// enum because the qos package cannot depend on sim.
+type gacStrategy int
+
+const (
+	gacBestFit gacStrategy = iota
+	gacWorstFit
+	gacOversub
+	gacLocality
+)
+
+// localityWindow is how many consecutive nodes a locality dispatch scans
+// around the job's home node before falling back to a full sweep.
+const localityWindow = 16
 
 // NewGAC builds a GAC over the given nodes.
 func NewGAC(nodes ...*LAC) *GAC {
@@ -345,10 +395,69 @@ func NewGAC(nodes ...*LAC) *GAC {
 // Nodes returns the number of managed nodes.
 func (g *GAC) Nodes() int { return len(g.nodes) }
 
-// Submit probes every node and admits the request at the node with the
-// earliest feasible start. It returns the chosen node index and the
-// decision; node == -1 on global rejection.
+// SetStrategy selects the dispatch strategy by name: "bestfit" (default,
+// earliest feasible start), "worstfit" (emptiest willing node, spreading
+// load), "oversub" (bestfit, then retry rejected work Opportunistically),
+// or "locality" (prefer a window of nodes around the job's hash-derived
+// home, falling back to bestfit). Unknown names are an error and leave
+// the strategy unchanged.
+func (g *GAC) SetStrategy(name string) error {
+	switch name {
+	case "", "bestfit":
+		g.strategy = gacBestFit
+	case "worstfit":
+		g.strategy = gacWorstFit
+	case "oversub":
+		g.strategy = gacOversub
+	case "locality":
+		g.strategy = gacLocality
+	default:
+		return fmt.Errorf("qos: unknown dispatch strategy %q (want bestfit, worstfit, oversub, or locality)", name)
+	}
+	return nil
+}
+
+// Submit probes nodes per the configured strategy and admits the request
+// at the winner. It returns the chosen node index and the decision;
+// node == -1 on global rejection.
 func (g *GAC) Submit(req Request) (node int, dec Decision) {
+	switch g.strategy {
+	case gacWorstFit:
+		return g.submitWorstFit(req)
+	case gacOversub:
+		if n, d := g.submitBestFit(req); d.Accepted || req.Mode.Kind == KindOpportunistic {
+			return n, d
+		}
+		// Oversubscribe: the reserved-mode request fits nowhere, but the
+		// fleet may still have unreserved cores — run it Opportunistically
+		// rather than bouncing it.
+		r := req
+		r.Mode = Opportunistic()
+		return g.submitBestFit(r)
+	case gacLocality:
+		home := int(mix64(uint64(req.JobID)) % uint64(len(g.nodes)))
+		best := -1
+		var bestDec Decision
+		for k := 0; k < localityWindow && k < len(g.nodes); k++ {
+			i := (home + k) % len(g.nodes)
+			if d := g.nodes[i].Probe(req); d.Accepted {
+				if best == -1 || d.Start < bestDec.Start {
+					best, bestDec = i, d
+				}
+			}
+		}
+		if best != -1 {
+			return best, g.nodes[best].Admit(req)
+		}
+		// Nothing near home: fall back to the full sweep so locality never
+		// rejects a job bestfit would have placed.
+		return g.submitBestFit(req)
+	default:
+		return g.submitBestFit(req)
+	}
+}
+
+func (g *GAC) submitBestFit(req Request) (node int, dec Decision) {
 	best := -1
 	var bestDec Decision
 	for i, lac := range g.nodes {
@@ -364,6 +473,33 @@ func (g *GAC) Submit(req Request) (node int, dec Decision) {
 		return -1, Decision{Reason: "qos: no node can satisfy the QoS target"}
 	}
 	return best, g.nodes[best].Admit(req)
+}
+
+func (g *GAC) submitWorstFit(req Request) (node int, dec Decision) {
+	best := -1
+	bestLen := 0
+	for i, lac := range g.nodes {
+		if d := lac.Probe(req); !d.Accepted {
+			continue
+		}
+		if n := lac.timeline.Len(); best == -1 || n < bestLen {
+			best, bestLen = i, n
+		}
+	}
+	if best == -1 {
+		return -1, Decision{Reason: "qos: no node can satisfy the QoS target"}
+	}
+	return best, g.nodes[best].Admit(req)
+}
+
+// mix64 is the stateless SplitMix64 finalizer step: a cheap, well-mixed
+// hash used for locality homes (the stateful splitmix64 in profile.go is
+// a stream generator, not a hash).
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // SubmitOrNegotiate is Submit plus the §3.1 negotiation loop: when the

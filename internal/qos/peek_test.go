@@ -1,0 +1,142 @@
+package qos
+
+import "testing"
+
+func TestPeekMatchesProbeWithoutCharging(t *testing.T) {
+	l := NewLAC(nodeCap())
+	tw := int64(1000)
+	if d := l.Admit(Request{JobID: 1, Target: medRUM(0, tw, 3), Mode: Strict(), Arrival: 0}); !d.Accepted {
+		t.Fatal(d.Reason)
+	}
+	if d := l.Admit(Request{JobID: 2, Target: medRUM(0, tw, 3), Mode: Strict(), Arrival: 0}); !d.Accepted {
+		t.Fatal(d.Reason)
+	}
+	probesBefore, _, _ := l.Counters()
+	for _, req := range []Request{
+		{JobID: 3, Target: medRUM(0, tw, 3), Mode: Strict(), Arrival: 0},
+		{JobID: 4, Target: medRUM(0, tw, 1.05), Mode: Strict(), Arrival: 0},
+		{JobID: 5, Target: medRUM(0, tw, 2), Mode: Elastic(0.05), Arrival: 0},
+		{JobID: 6, Target: medRUM(0, tw, 0), Mode: Opportunistic(), Arrival: 0},
+	} {
+		peek := l.Peek(req)
+		probe := l.Probe(req)
+		if peek.Accepted != probe.Accepted || peek.Start != probe.Start {
+			t.Errorf("job %d: peek %+v != probe %+v", req.JobID, peek, probe)
+		}
+	}
+	probesAfter, admits, _ := l.Counters()
+	// Four Probe calls charged; the interleaved Peek calls did not.
+	if probesAfter-probesBefore != 4 {
+		t.Errorf("probe counter moved by %d, want 4 (Peek must not charge)", probesAfter-probesBefore)
+	}
+	if admits != 2 {
+		t.Errorf("admits = %d, want 2 (neither Peek nor Probe commits)", admits)
+	}
+}
+
+func TestPeekDoesNotMutateTimeline(t *testing.T) {
+	l := NewLAC(nodeCap())
+	tw := int64(1000)
+	req := Request{JobID: 1, Target: medRUM(0, tw, 3), Mode: Strict(), Arrival: 0}
+	first := l.Peek(req)
+	for i := 0; i < 5; i++ {
+		if d := l.Peek(req); d != first {
+			t.Fatalf("peek %d drifted: %+v != %+v", i, d, first)
+		}
+	}
+	if d := l.Admit(req); !d.Accepted || d.Start != first.Start {
+		t.Errorf("admit after peeks = %+v, want start %d", d, first.Start)
+	}
+}
+
+func TestGACStrategies(t *testing.T) {
+	tw := int64(1000)
+	mkReq := func(id int) Request {
+		return Request{JobID: id, Target: medRUM(0, tw, 3), Mode: Strict(), Arrival: 0}
+	}
+	newGAC := func() *GAC {
+		return NewGAC(NewLAC(nodeCap()), NewLAC(nodeCap()), NewLAC(nodeCap()))
+	}
+
+	g := newGAC()
+	if err := g.SetStrategy("nope"); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	for _, name := range []string{"", "bestfit", "worstfit", "oversub", "locality"} {
+		if err := g.SetStrategy(name); err != nil {
+			t.Errorf("SetStrategy(%q): %v", name, err)
+		}
+	}
+
+	// bestfit packs: equal-start ties resolve to the first node.
+	g = newGAC()
+	if err := g.SetStrategy("bestfit"); err != nil {
+		t.Fatal(err)
+	}
+	n1, d1 := g.Submit(mkReq(1))
+	n2, d2 := g.Submit(mkReq(2))
+	if !d1.Accepted || !d2.Accepted || n1 != 0 || n2 != 0 {
+		t.Errorf("bestfit placed at %d,%d; want 0,0 (pack the first node)", n1, n2)
+	}
+
+	// worstfit spreads: consecutive jobs land on different nodes.
+	g = newGAC()
+	if err := g.SetStrategy("worstfit"); err != nil {
+		t.Fatal(err)
+	}
+	n1, _ = g.Submit(mkReq(1))
+	n2, _ = g.Submit(mkReq(2))
+	n3, _ := g.Submit(mkReq(3))
+	if n1 != 0 || n2 != 1 || n3 != 2 {
+		t.Errorf("worstfit placed at %d,%d,%d; want 0,1,2 (spread)", n1, n2, n3)
+	}
+
+	// oversub re-dispatches an infeasible reserved request
+	// Opportunistically instead of rejecting it.
+	fill := func(g *GAC) int {
+		id := 1
+		for {
+			_, d := g.Submit(Request{JobID: id, Target: medRUM(0, tw, 1.05), Mode: Strict(), Arrival: 0})
+			if !d.Accepted {
+				return id
+			}
+			id++
+		}
+	}
+	g = newGAC()
+	rejectedAt := fill(g) // bestfit bounces this job
+	g2 := newGAC()
+	if err := g2.SetStrategy("oversub"); err != nil {
+		t.Fatal(err)
+	}
+	for id := 1; id < rejectedAt; id++ {
+		if _, d := g2.Submit(Request{JobID: id, Target: medRUM(0, tw, 1.05), Mode: Strict(), Arrival: 0}); !d.Accepted {
+			t.Fatalf("oversub diverged from bestfit on feasible job %d", id)
+		}
+	}
+	_, d := g2.Submit(Request{JobID: rejectedAt, Target: medRUM(0, tw, 1.05), Mode: Strict(), Arrival: 0})
+	if !d.Accepted {
+		t.Error("oversub rejected a job it should have scavenged")
+	}
+
+	// locality is deterministic and accepts whenever bestfit would.
+	g = newGAC()
+	if err := g.SetStrategy("locality"); err != nil {
+		t.Fatal(err)
+	}
+	gRef := newGAC()
+	if err := gRef.SetStrategy("locality"); err != nil {
+		t.Fatal(err)
+	}
+	for id := 1; id <= 6; id++ {
+		n1, d1 := g.Submit(mkReq(id))
+		n2, d2 := gRef.Submit(mkReq(id))
+		if n1 != n2 || d1.Accepted != d2.Accepted {
+			t.Fatalf("locality nondeterministic at job %d: (%d,%v) vs (%d,%v)",
+				id, n1, d1.Accepted, n2, d2.Accepted)
+		}
+		if !d1.Accepted {
+			t.Fatalf("locality rejected job %d on an uncontended cluster", id)
+		}
+	}
+}

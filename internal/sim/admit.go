@@ -46,7 +46,11 @@ func (r *Runner) processArrivals(epochEnd int64) {
 		}
 		return
 	}
-	for r.nextArr < epochEnd && len(r.accepted) < r.cfg.AcceptTarget {
+	if r.arrivals == nil {
+		r.arrivals = workload.NewArrivals(r.cfg.Seed+1, r.cfg.ProbesPerTw, r.refTW)
+		r.nextArr = r.arrivals.Next()
+	}
+	for r.nextArr < epochEnd && r.acceptedN < r.cfg.AcceptTarget {
 		ta := r.nextArr
 		if ta < r.now {
 			ta = r.now
@@ -61,7 +65,7 @@ func (r *Runner) submit(ta int64) {
 	// percentages and Table 3's mixes are over the ten-job workload):
 	// slot k of the composition is retried on every submission until a
 	// job is accepted into it.
-	tmpl := r.cfg.Workload.Jobs[len(r.accepted)%len(r.cfg.Workload.Jobs)]
+	tmpl := r.cfg.Workload.Jobs[r.acceptedN%len(r.cfg.Workload.Jobs)]
 	dl := r.dlmix.Next()
 	r.submitTemplate(tmpl, dl, ta)
 }
@@ -93,7 +97,8 @@ func (r *Runner) deadlineFor(dl workload.DeadlineClass, ta, tw int64) int64 {
 
 // probeTemplate asks this node's LAC, without side effects, whether it
 // could accept the job and when it would start. The GAC layer of the
-// cluster simulation uses this.
+// cluster simulation uses this; the probe is charged to the modeled
+// controller occupancy like any admission test.
 func (r *Runner) probeTemplate(tmpl workload.JobTemplate, dl workload.DeadlineClass, ta int64) (start int64, ok bool) {
 	if r.lac == nil {
 		return ta, true
@@ -103,12 +108,54 @@ func (r *Runner) probeTemplate(tmpl workload.JobTemplate, dl workload.DeadlineCl
 	return d.Start, d.Accepted
 }
 
-// submitTemplate runs one admission attempt and returns whether the job
-// was accepted. Under the paper's arrival pressure (4×128 probes per tw)
-// rejections outnumber acceptances ~80:1, so the rejection path records
-// its two events and touches nothing else: the Job object, its resolved
-// profile, and the deadline bookkeeping are built only after acceptance.
+// peekTemplateMode is probeTemplate with an explicit mode and no
+// occupancy charge: the dispatch index's node-summary refresh. An
+// indexed GAC maintains its summaries as bookkeeping, not as admission
+// tests, so these lookups must not inflate the §7.5 occupancy model —
+// only the admitting node's Admit is billed.
+func (r *Runner) peekTemplateMode(tmpl workload.JobTemplate, dl workload.DeadlineClass, ta int64, mode qos.Mode) (start int64, ok bool) {
+	if r.lac == nil {
+		return ta, true
+	}
+	tw := r.twFor(twKey(tmpl))
+	d := r.lac.Peek(r.admitRequest(-1, r.reqWays, tw, r.deadlineFor(dl, ta, tw), ta, mode))
+	return d.Start, d.Accepted
+}
+
+// peekEarliestMode is peekTemplateMode with the deadline lifted
+// (deadline 0 = unbounded): the node's true earliest feasible start for
+// the arrival's reservation shape, however far away. The dispatch index
+// records it after a failed constrained probe; without it a failed
+// probe only teaches "not before this arrival's cutoff", which the very
+// next arrival's slightly-later deadline invalidates, and a saturated
+// fleet re-probes every node per rejection — probe-all in disguise.
+// With the true start on file a node stays filed under it until either
+// a later deadline reaches it or a completion resets it, so fleet-wide
+// rejections cost O(1).
+func (r *Runner) peekEarliestMode(tmpl workload.JobTemplate, ta int64, mode qos.Mode) (start int64, ok bool) {
+	if r.lac == nil {
+		return ta, true
+	}
+	tw := r.twFor(twKey(tmpl))
+	d := r.lac.Peek(r.admitRequest(-1, r.reqWays, tw, 0, ta, mode))
+	return d.Start, d.Accepted
+}
+
+// submitTemplate runs one admission attempt under the template's hinted
+// mode and returns whether the job was accepted.
 func (r *Runner) submitTemplate(tmpl workload.JobTemplate, dl workload.DeadlineClass, ta int64) bool {
+	return r.submitTemplateAs(tmpl, dl, ta, r.modeFor(tmpl.Hint))
+}
+
+// submitTemplateAs runs one admission attempt with an explicit mode
+// (the oversub dispatcher re-submits rejected reserved work
+// Opportunistically) and returns whether the job was accepted. Under
+// the paper's arrival pressure (4×128 probes per tw) rejections
+// outnumber acceptances ~80:1, so the rejection path records its two
+// events and touches nothing else: the Job object, its resolved
+// profile, and the deadline bookkeeping are built only after
+// acceptance.
+func (r *Runner) submitTemplateAs(tmpl workload.JobTemplate, dl workload.DeadlineClass, ta int64, mode qos.Mode) bool {
 	r.submitIdx++
 	id := r.submitIdx
 	key := twKey(tmpl)
@@ -118,7 +165,6 @@ func (r *Runner) submitTemplate(tmpl workload.JobTemplate, dl workload.DeadlineC
 		tw = int64(float64(tw) * float64(r.cfg.JobInstr) / float64(r.twInstr))
 	}
 	td := r.deadlineFor(dl, ta, tw)
-	mode := r.modeFor(tmpl.Hint)
 	r.emit(trace.Event{Cycle: ta, JobID: id, Kind: trace.Submitted})
 
 	var dec qos.Decision
@@ -132,7 +178,7 @@ func (r *Runner) submitTemplate(tmpl workload.JobTemplate, dl workload.DeadlineC
 	}
 
 	instr := r.cfg.JobInstr
-	if r.cfg.OverrunFactor > 1 && len(r.accepted) == r.cfg.OverrunJobSlot {
+	if r.cfg.OverrunFactor > 1 && r.acceptedN == r.cfg.OverrunJobSlot {
 		// Failure injection: this job's user underspecified tw.
 		instr = int64(float64(instr) * r.cfg.OverrunFactor)
 	}
@@ -157,6 +203,7 @@ func (r *Runner) submitTemplate(tmpl workload.JobTemplate, dl workload.DeadlineC
 		j.State = StateWaiting
 		j.StartAt = ta
 		r.accepted = append(r.accepted, j)
+		r.acceptedN++
 		r.emit(trace.Event{Cycle: ta, JobID: id, Kind: trace.Accepted, Detail: ta})
 		return true
 	}
@@ -174,6 +221,7 @@ func (r *Runner) submitTemplate(tmpl workload.JobTemplate, dl workload.DeadlineC
 	}
 	j.State = StateWaiting
 	r.accepted = append(r.accepted, j)
+	r.acceptedN++
 	r.emit(trace.Event{Cycle: ta, JobID: id, Kind: trace.Accepted, Detail: dec.Start})
 	return true
 }

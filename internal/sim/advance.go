@@ -74,6 +74,9 @@ func (r *Runner) advanceJob(j *Job, shareCycles, sharers, offset int64) {
 			r.lac.Complete(j.ID, j.Mode, j.Completed)
 		}
 		r.emit(trace.Event{Cycle: j.Completed, JobID: j.ID, Kind: trace.Terminated})
+		if r.fold != nil {
+			r.foldJob(j)
+		}
 		return
 	}
 	if j.Remaining() == 0 {
@@ -93,6 +96,9 @@ func (r *Runner) advanceJob(j *Job, shareCycles, sharers, offset int64) {
 			Cycle: j.Completed, JobID: j.ID, Kind: trace.Completed,
 			DeadlineMet: j.MetDeadline(),
 		})
+		if r.fold != nil {
+			r.foldJob(j)
+		}
 	}
 }
 

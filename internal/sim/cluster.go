@@ -1,20 +1,36 @@
 package sim
 
 import (
+	"context"
 	"fmt"
+	"sort"
 
+	"cmpqos/internal/parallel"
 	"cmpqos/internal/qos"
 	"cmpqos/internal/workload"
 )
 
+// The node cap is a memory bound, not a policy: a quiescent node runner
+// (timeline, model state, dispatch-index slots) costs on the order of
+// 64 KiB, and the fleet must fit comfortably in one machine's memory,
+// so the cap is the node count that fits a 16 GiB budget. Deriving it
+// by division keeps the arithmetic overflow-free however the budget is
+// tuned.
+const (
+	nodeFootprintBytes  = int64(64) << 10
+	clusterMemoryBudget = int64(16) << 30
+	maxClusterNodes     = int(clusterMemoryBudget / nodeFootprintBytes)
+)
+
 // ClusterConfig describes the paper's working environment (§3.1,
 // Figure 2): a server of identical CMP nodes behind a Global Admission
-// Controller. Arrivals probe every node's Local Admission Controller;
-// the GAC places each job at the node offering the earliest feasible
-// start and rejects jobs no node can satisfy.
+// Controller. Arrivals consult the nodes' Local Admission Controllers
+// through a dispatch policy; the default places each job at the node
+// offering the earliest feasible start and rejects jobs no node can
+// satisfy.
 type ClusterConfig struct {
 	// Nodes is the CMP node count (the paper sizes its arrival pressure
-	// for a 128-node server; any count works here).
+	// for a 128-node server; anything up to the memory bound works here).
 	Nodes int
 	// Node is the per-node configuration; its AcceptTarget is ignored in
 	// favour of AcceptTarget below, and its arrival pressure drives the
@@ -23,12 +39,47 @@ type ClusterConfig struct {
 	// AcceptTarget is the total number of accepted jobs across the
 	// cluster that constitutes the workload.
 	AcceptTarget int
+	// Dispatcher selects the registered GAC dispatch policy by name (see
+	// dispatch.go); empty resolves to "bestfit", which reproduces the
+	// historical probe-all placements exactly at O(log N) probes per
+	// arrival.
+	Dispatcher string
+	// SeedDerivation picks how per-node seeds derive from Node.Seed:
+	// "mix" (the default) runs each node id through the SplitMix64
+	// finalizer, giving statistically independent streams; "legacy" keeps
+	// the historical Seed + 101·i lattice, whose low bits correlate
+	// across nodes.
+	SeedDerivation string
+	// TopK, when positive, sizes the report's worst-nodes digest: the K
+	// nodes with the most deadline violations, without retaining
+	// per-node reports for the whole fleet.
+	TopK int
+}
+
+// dispatcherName resolves the configured dispatcher.
+func (c ClusterConfig) dispatcherName() string {
+	if c.Dispatcher != "" {
+		return c.Dispatcher
+	}
+	return "bestfit"
+}
+
+// nodeSeed derives node i's seed from the shared base seed.
+func (c ClusterConfig) nodeSeed(i int) int64 {
+	if c.SeedDerivation == "legacy" {
+		return c.Node.Seed + int64(i)*101
+	}
+	return int64(mix64(uint64(c.Node.Seed) + uint64(i)))
 }
 
 // Validate checks the configuration.
 func (c ClusterConfig) Validate() error {
-	if c.Nodes <= 0 || c.Nodes > 1024 {
+	if c.Nodes <= 0 {
 		return fmt.Errorf("sim: node count %d out of range", c.Nodes)
+	}
+	if c.Nodes > maxClusterNodes {
+		return fmt.Errorf("sim: %d nodes exceed the %d-node memory bound (%d GiB at ~%d KiB/node)",
+			c.Nodes, maxClusterNodes, clusterMemoryBudget>>30, nodeFootprintBytes>>10)
 	}
 	if c.AcceptTarget <= 0 {
 		return fmt.Errorf("sim: cluster accept target must be positive")
@@ -36,30 +87,80 @@ func (c ClusterConfig) Validate() error {
 	if c.Node.Policy == EqualPart {
 		return fmt.Errorf("sim: the cluster layer requires admission control (not EqualPart)")
 	}
+	if c.Node.RecordSeries {
+		return fmt.Errorf("sim: cluster nodes stream their reports (RecordSeries is node-level only)")
+	}
+	if _, ok := dispatchers[c.dispatcherName()]; !ok {
+		return fmt.Errorf("sim: unknown dispatcher %q (have %v)", c.dispatcherName(), DispatcherNames())
+	}
+	switch c.SeedDerivation {
+	case "", "mix", "legacy":
+	default:
+		return fmt.Errorf("sim: unknown seed derivation %q (have [legacy mix])", c.SeedDerivation)
+	}
+	if c.TopK < 0 {
+		return fmt.Errorf("sim: negative worst-nodes digest size")
+	}
 	return c.Node.Validate()
 }
 
-// ClusterReport aggregates a cluster run.
-type ClusterReport struct {
-	Nodes           []*Report
-	Accepted        int
-	RejectedProbes  int // submissions no node would take
-	TotalCycles     int64
-	DeadlineHitRate float64
+// NodeDigest is one entry of the report's worst-nodes digest.
+type NodeDigest struct {
+	Node       int
+	Accepted   int
+	Violations int // guaranteed jobs that missed their deadline
+	Terminated int
 }
 
-// ClusterRunner simulates the GAC-fronted multi-node environment: all
-// nodes advance in lock-step epochs while the shared arrival process
-// feeds the GAC placement loop.
+// ClusterReport aggregates a cluster run. It carries fleet-level
+// aggregates only — per-node reports are folded in one at a time and
+// discarded, so report size is independent of the node count (the
+// optional WorstNodes digest is bounded by ClusterConfig.TopK).
+type ClusterReport struct {
+	Nodes           int
+	Dispatcher      string
+	Accepted        int
+	RejectedProbes  int // submissions no node would take
+	Terminated      int
+	TotalCycles     int64
+	DeadlineHitRate float64 // over guaranteed (non-Opportunistic) jobs
+	Violations      int     // guaranteed jobs that missed their deadline
+	GuaranteedJobs  int
+	AutoDowngraded  int
+	CPUCycles       int64   // Σ retired cycles across the fleet
+	Utilization     float64 // CPUCycles / (Nodes · Cores · TotalCycles)
+	LACProbes       int64
+	WorstNodes      []NodeDigest
+}
+
+// ClusterRunner simulates the GAC-fronted multi-node environment. The
+// dispatch loop and the index bookkeeping run strictly serially; only
+// the per-epoch node stepping fans out across workers (each node owns
+// all of its mutable state), and completions are observed serially in
+// ascending node order after the step barrier — so the run is
+// bit-identical at any worker count. Nodes with no live jobs leave the
+// active set entirely and fast-forward their idle epochs in O(1) when
+// the next job lands on them, which is what lets a 5,000-node fleet
+// run at the cost of its busy nodes.
 type ClusterRunner struct {
 	cfg      ClusterConfig
 	nodes    []*Runner
-	arrivals *workload.Arrivals
-	dlmix    *workload.DeadlineMix
+	arrivals *workload.ArrivalStream
+	dlmix    *workload.DeadlineStream
 	nextArr  int64
 	now      int64
 	accepted int
 	rejected int
+
+	disp Dispatcher
+	idx  *dispatchIndex // nil unless an indexed dispatcher asked for it
+
+	// Skip-idle bookkeeping. Fault plans disable it: fault events must
+	// apply at their configured cycles even on idle nodes.
+	skipIdle bool
+	active   []int32 // node ids with live jobs, ascending
+	inActive []bool
+	lastFin  []int // finished-job count last observed per node
 }
 
 // NewCluster builds the cluster runner.
@@ -68,14 +169,21 @@ func NewCluster(cfg ClusterConfig) (*ClusterRunner, error) {
 		return nil, err
 	}
 	cr := &ClusterRunner{
-		cfg:   cfg,
-		dlmix: workload.NewDeadlineMix(cfg.Node.Seed),
+		cfg:      cfg,
+		dlmix:    workload.NewDeadlineStream(cfg.Node.Seed),
+		skipIdle: cfg.Node.Faults.Empty(),
+		inActive: make([]bool, cfg.Nodes),
+		lastFin:  make([]int, cfg.Nodes),
 	}
+	cr.nodes = make([]*Runner, 0, cfg.Nodes)
 	for i := 0; i < cfg.Nodes; i++ {
 		nodeCfg := cfg.Node
-		nodeCfg.Seed = cfg.Node.Seed + int64(i)*101
+		nodeCfg.Seed = cfg.nodeSeed(i)
 		// Per-node accept targets are moot; the cluster decides.
 		nodeCfg.AcceptTarget = cfg.AcceptTarget
+		// Nodes stream finished jobs into their report aggregates so fleet
+		// memory tracks live jobs, not total admitted jobs.
+		nodeCfg.FoldCompleted = true
 		n, err := New(nodeCfg)
 		if err != nil {
 			return nil, err
@@ -84,54 +192,54 @@ func NewCluster(cfg ClusterConfig) (*ClusterRunner, error) {
 		cr.nodes = append(cr.nodes, n)
 	}
 	// The shared arrival process scales with the node count, as the
-	// paper's 4×128-per-tw pressure scales with its server size.
+	// paper's 4×128-per-tw pressure scales with its server size. The
+	// stream draws gap by gap — the fleet's million-job tape is never
+	// materialized.
 	ref := cr.nodes[0].refTW
-	cr.arrivals = workload.NewArrivals(cfg.Node.Seed+1,
+	cr.arrivals = workload.NewArrivalStream(cfg.Node.Seed+1,
 		cfg.Node.ProbesPerTw*float64(cfg.Nodes), ref)
 	cr.nextArr = cr.arrivals.Next()
+	cr.disp = dispatchers[cfg.dispatcherName()](cr)
 	return cr, nil
 }
 
-// Run executes the cluster to completion.
+// Run executes the cluster to completion on one worker.
 func (cr *ClusterRunner) Run() (*ClusterReport, error) {
+	return cr.RunParallel(context.Background(), 1)
+}
+
+// RunParallel executes the cluster to completion, stepping active nodes
+// on up to `workers` goroutines per epoch. Results are bit-identical
+// for any worker count.
+func (cr *ClusterRunner) RunParallel(ctx context.Context, workers int) (*ClusterReport, error) {
+	pool := parallel.New(workers)
+	epochs := int64(0)
 	for !cr.done() {
 		if cr.now > cr.cfg.Node.MaxCycles {
 			return nil, fmt.Errorf("sim: cluster exceeded safety horizon with %d/%d accepted",
 				cr.accepted, cr.cfg.AcceptTarget)
 		}
+		if epochs%256 == 0 && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		epochs++
 		epochEnd := cr.now + cr.cfg.Node.EpochCycles
 		cr.placeArrivals(epochEnd)
-		for _, n := range cr.nodes {
-			n.step()
+		if err := cr.stepEpoch(ctx, pool); err != nil {
+			return nil, err
 		}
+		cr.observeCompletions()
 		cr.now = epochEnd
 	}
-	rep := &ClusterReport{Accepted: cr.accepted, RejectedProbes: cr.rejected}
-	hits, den := 0, 0
-	for _, n := range cr.nodes {
-		nr := n.report()
-		rep.Nodes = append(rep.Nodes, nr)
-		if nr.TotalCycles > rep.TotalCycles {
-			rep.TotalCycles = nr.TotalCycles
-		}
-		for _, j := range nr.Jobs {
-			if j.Mode.Kind != qos.KindOpportunistic {
-				den++
-				if j.Met {
-					hits++
-				}
-			}
-		}
-	}
-	if den > 0 {
-		rep.DeadlineHitRate = float64(hits) / float64(den)
-	}
-	return rep, nil
+	return cr.report(), nil
 }
 
 func (cr *ClusterRunner) done() bool {
 	if cr.accepted < cr.cfg.AcceptTarget {
 		return false
+	}
+	if cr.skipIdle {
+		return len(cr.active) == 0
 	}
 	for _, n := range cr.nodes {
 		if !n.idle() {
@@ -142,35 +250,165 @@ func (cr *ClusterRunner) done() bool {
 }
 
 // placeArrivals runs the GAC loop for every arrival inside the epoch:
-// probe all nodes, admit at the earliest-start node.
+// the dispatcher picks a node (or rejects), the cluster admits there
+// and feeds the admission back into the dispatch index.
 func (cr *ClusterRunner) placeArrivals(epochEnd int64) {
+	jobs := cr.cfg.Node.Workload.Jobs
 	for cr.nextArr < epochEnd && cr.accepted < cr.cfg.AcceptTarget {
 		ta := cr.nextArr
 		if ta < cr.now {
 			ta = cr.now
 		}
-		tmpl := cr.cfg.Node.Workload.Jobs[cr.accepted%len(cr.cfg.Node.Workload.Jobs)]
-		dl := cr.dlmix.Next()
-		// Earliest feasible start wins; ties (common for Opportunistic
-		// jobs, which always start immediately) break toward the node
-		// with the fewest live jobs so scavengers spread out.
-		best, bestStart, bestLoad := -1, int64(0), 0
-		for i, n := range cr.nodes {
-			if start, ok := n.probeTemplate(tmpl, dl, ta); ok {
-				load := len(n.accepted) - n.doneCount()
-				if best == -1 || start < bestStart || (start == bestStart && load < bestLoad) {
-					best, bestStart, bestLoad = i, start, load
-				}
-			}
+		a := Arrival{
+			Tmpl: jobs[cr.accepted%len(jobs)],
+			DL:   cr.dlmix.Next(),
+			TA:   ta,
+			Seq:  cr.accepted,
 		}
-		if best == -1 {
+		p := cr.disp.Place(a)
+		if p.Node < 0 {
 			cr.rejected++
-		} else if cr.nodes[best].submitTemplate(tmpl, dl, ta) {
-			cr.accepted++
 		} else {
-			// Probe raced completion bookkeeping; count as rejection.
-			cr.rejected++
+			cr.wake(p.Node)
+			n := cr.nodes[p.Node]
+			var ok bool
+			if p.Opportunistic {
+				ok = n.submitTemplateAs(a.Tmpl, a.DL, a.TA, qos.Opportunistic())
+			} else {
+				ok = n.submitTemplate(a.Tmpl, a.DL, a.TA)
+			}
+			if ok {
+				cr.accepted++
+				if cr.idx != nil {
+					cr.idx.noteAdmit(p.Node)
+				}
+			} else {
+				// Probe raced completion bookkeeping; count as rejection.
+				cr.rejected++
+			}
 		}
 		cr.nextArr = cr.arrivals.Next()
 	}
+}
+
+// wake brings an idle node back into the active set, fast-forwarding
+// its clock through the epochs it slept.
+func (cr *ClusterRunner) wake(id int) {
+	if !cr.skipIdle || cr.inActive[id] {
+		return
+	}
+	cr.nodes[id].fastForwardIdle(cr.now)
+	cr.inActive[id] = true
+	pos := sort.Search(len(cr.active), func(i int) bool { return cr.active[i] >= int32(id) })
+	cr.active = append(cr.active, 0)
+	copy(cr.active[pos+1:], cr.active[pos:])
+	cr.active[pos] = int32(id)
+}
+
+// stepEpoch advances every active node one epoch, fanning out across
+// workers. Nodes share no mutable state, so the fan-out is safe; the
+// parallel.Map barrier restores the serial epoch structure.
+func (cr *ClusterRunner) stepEpoch(ctx context.Context, pool *parallel.Pool) error {
+	if cr.skipIdle {
+		_, err := parallel.Map(ctx, pool, len(cr.active), func(i int) (struct{}, error) {
+			cr.nodes[cr.active[i]].step()
+			return struct{}{}, nil
+		})
+		return err
+	}
+	_, err := parallel.Map(ctx, pool, len(cr.nodes), func(i int) (struct{}, error) {
+		cr.nodes[i].step()
+		return struct{}{}, nil
+	})
+	return err
+}
+
+// observeCompletions scans the active nodes in ascending id order after
+// the step barrier, feeding observed completions into the dispatch
+// index and retiring nodes that went idle from the active set. The
+// serial ascending order is what keeps the index — and therefore every
+// subsequent placement — independent of the worker count.
+func (cr *ClusterRunner) observeCompletions() {
+	if cr.skipIdle {
+		kept := cr.active[:0]
+		for _, id := range cr.active {
+			n := cr.nodes[id]
+			if fin := n.finishedCount(); fin > cr.lastFin[id] {
+				cr.lastFin[id] = fin
+				if cr.idx != nil {
+					cr.idx.noteFinished(int(id))
+				}
+			}
+			if n.idle() {
+				cr.inActive[id] = false
+			} else {
+				kept = append(kept, id)
+			}
+		}
+		cr.active = kept
+		return
+	}
+	for id, n := range cr.nodes {
+		if fin := n.finishedCount(); fin > cr.lastFin[id] {
+			cr.lastFin[id] = fin
+			if cr.idx != nil {
+				cr.idx.noteFinished(id)
+			}
+		}
+	}
+}
+
+// report folds the per-node streaming reports into the fleet report,
+// one node at a time.
+func (cr *ClusterRunner) report() *ClusterReport {
+	rep := &ClusterReport{
+		Nodes:          len(cr.nodes),
+		Dispatcher:     cr.disp.Name(),
+		Accepted:       cr.accepted,
+		RejectedProbes: cr.rejected,
+	}
+	hits, den := 0, 0
+	var digests []NodeDigest
+	for i, n := range cr.nodes {
+		nr := n.report()
+		if nr.TotalCycles > rep.TotalCycles {
+			rep.TotalCycles = nr.TotalCycles
+		}
+		rep.Terminated += nr.Terminated
+		rep.AutoDowngraded += nr.AutoDowngradedJobs
+		rep.CPUCycles += nr.CPUCycles
+		rep.LACProbes += nr.LACProbes
+		hits += nr.GuaranteedHits
+		den += nr.GuaranteedJobs
+		if cr.cfg.TopK > 0 {
+			digests = append(digests, NodeDigest{
+				Node:       i,
+				Accepted:   nr.AcceptedJobs,
+				Violations: nr.GuaranteedJobs - nr.GuaranteedHits,
+				Terminated: nr.Terminated,
+			})
+		}
+	}
+	rep.GuaranteedJobs = den
+	rep.Violations = den - hits
+	if den > 0 {
+		rep.DeadlineHitRate = float64(hits) / float64(den)
+	}
+	if rep.TotalCycles > 0 {
+		rep.Utilization = float64(rep.CPUCycles) /
+			(float64(len(cr.nodes)) * float64(cr.cfg.Node.Cores) * float64(rep.TotalCycles))
+	}
+	if k := cr.cfg.TopK; k > 0 {
+		sort.Slice(digests, func(a, b int) bool {
+			if digests[a].Violations != digests[b].Violations {
+				return digests[a].Violations > digests[b].Violations
+			}
+			return digests[a].Node < digests[b].Node
+		})
+		if len(digests) > k {
+			digests = digests[:k]
+		}
+		rep.WorstNodes = digests
+	}
+	return rep
 }

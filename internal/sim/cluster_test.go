@@ -45,13 +45,30 @@ func TestClusterRunsAndGuarantees(t *testing.T) {
 	if rep.DeadlineHitRate != 1.0 {
 		t.Errorf("cluster hit rate = %v, want 1.0 (the GAC only places satisfiable jobs)", rep.DeadlineHitRate)
 	}
-	if len(rep.Nodes) != 2 {
-		t.Fatalf("node reports = %d", len(rep.Nodes))
+	if rep.Nodes != 2 {
+		t.Fatalf("node count = %d", rep.Nodes)
 	}
-	// The GAC balances: both nodes should carry a meaningful share.
-	for i, nr := range rep.Nodes {
-		if len(nr.Jobs) < 5 {
-			t.Errorf("node %d carries only %d jobs — placement unbalanced", i, len(nr.Jobs))
+}
+
+func TestClusterBalancesPlacement(t *testing.T) {
+	// The GAC balances: both nodes should carry a meaningful share. The
+	// worst-nodes digest carries the per-node accept counts.
+	cfg := clusterCfg(2, 20)
+	cfg.TopK = 2
+	cr, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := cr.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.WorstNodes) != 2 {
+		t.Fatalf("digest size = %d, want 2", len(rep.WorstNodes))
+	}
+	for _, d := range rep.WorstNodes {
+		if d.Accepted < 5 {
+			t.Errorf("node %d carries only %d jobs — placement unbalanced", d.Node, d.Accepted)
 		}
 	}
 }

@@ -220,6 +220,14 @@ type Config struct {
 	// SeriesStride epochs (default 16 when enabled).
 	RecordSeries bool
 	SeriesStride int
+	// FoldCompleted streams finished jobs into the report aggregates at
+	// completion time and periodically compacts them out of the live job
+	// slice, keeping the runner's memory independent of how many jobs the
+	// run admits. The Report then carries aggregates only (Jobs, Deadlines
+	// and the event Recorder stay empty), which is what the cluster layer
+	// needs to simulate million-job fleets. Incompatible with RecordSeries
+	// (the series sink censuses the retained job slice).
+	FoldCompleted bool
 	// Faults is the deterministic fault-injection plan applied during
 	// the run: timed core failures/recoveries, cache-way faults, and
 	// memory-latency spikes (see internal/fault). The zero value injects
@@ -340,6 +348,9 @@ func (c Config) Validate() error {
 	}
 	if c.DeadlineFactor < 0 {
 		return fmt.Errorf("sim: negative deadline factor")
+	}
+	if c.FoldCompleted && c.RecordSeries {
+		return fmt.Errorf("sim: FoldCompleted is incompatible with RecordSeries")
 	}
 	if _, ok := schedulers[c.schedulerName()]; !ok {
 		return fmt.Errorf("sim: unknown scheduler %q (have %v)", c.schedulerName(), SchedulerNames())

@@ -31,9 +31,11 @@ type Runner struct {
 	seriesS *seriesSink
 
 	accepted  []*Job
+	acceptedN int // total accepted ever (== len(accepted) unless compacted)
 	scriptPos int
 	rejected  int
-	doneN     int // finished (done or terminated) accepted jobs
+	doneN     int // finished (done or terminated) jobs still in accepted
+	fold      *jobFold
 	now       int64
 	arrivals  *workload.Arrivals
 	dlmix     *workload.DeadlineMix
@@ -146,8 +148,16 @@ func New(cfg Config) (*Runner, error) {
 	r.reqWays = reqWays
 	r.buildTwTable(cfg, reqWays)
 	r.twInstr = cfg.JobInstr
-	r.arrivals = workload.NewArrivals(cfg.Seed+1, cfg.ProbesPerTw, r.refTW)
-	r.nextArr = r.arrivals.Next()
+	// The arrival cursor is created lazily by processArrivals: scripted
+	// runs never draw from it, and cluster nodes (external arrivals)
+	// would otherwise materialize one arrival tape per node.
+	if cfg.FoldCompleted {
+		// Streaming mode: per-job outcomes fold into aggregates at
+		// completion and the event trace is not retained, so memory stays
+		// O(live jobs) regardless of how many jobs the run admits.
+		r.rec = nil
+		r.fold = newJobFold()
+	}
 
 	if !cfg.Policy.noAdmission() {
 		opts := []qos.LACOption{
@@ -291,6 +301,55 @@ func (r *Runner) step() {
 	}
 	r.now = epochEnd
 	r.epochIdx++
+	if r.fold != nil && r.doneN >= 256 && r.doneN >= len(r.accepted)/2 {
+		r.compact()
+	}
+}
+
+// compact drops finished jobs from the accepted slice (streaming mode
+// only — their outcomes were folded at completion). Live jobs keep
+// their acceptance order; doneN tracks finished jobs still in the
+// slice, so it drains here.
+func (r *Runner) compact() {
+	w := 0
+	for _, j := range r.accepted {
+		if j.State != StateDone && j.State != StateTerminated {
+			r.accepted[w] = j
+			w++
+		}
+	}
+	for i := w; i < len(r.accepted); i++ {
+		r.accepted[i] = nil
+	}
+	r.doneN -= len(r.accepted) - w
+	r.accepted = r.accepted[:w]
+}
+
+// liveCount returns the number of accepted jobs not yet finished.
+func (r *Runner) liveCount() int { return len(r.accepted) - r.doneN }
+
+// finishedCount returns how many accepted jobs have finished over the
+// whole run — monotone even across compaction, which is what the
+// cluster layer's completion observer diffs against.
+func (r *Runner) finishedCount() int { return r.acceptedN - r.liveCount() }
+
+// fastForwardIdle advances an idle node to cycle `to` in one step: k
+// skipped epochs contribute k empty-node fragmentation deltas and one
+// rolled-up bus window (zero misses yield zero utilization for any
+// window length, so one Roll(k·epoch) is exactly k Roll(epoch) calls).
+// The cluster layer calls this for nodes it stopped stepping; it is
+// only sound with no fault plan, no telemetry series, and no attached
+// sinks — the cluster's Validate enforces all three.
+func (r *Runner) fastForwardIdle(to int64) {
+	k := (to - r.now) / r.cfg.EpochCycles
+	if k <= 0 {
+		return
+	}
+	r.frag.idleCores += float64(k) * float64(r.cfg.Cores-r.downCores)
+	r.frag.idleWays += float64(k) * float64(r.cfg.L2.Ways-r.waysDown)
+	r.bus.Roll(k * r.cfg.EpochCycles)
+	r.now += k * r.cfg.EpochCycles
+	r.epochIdx += k
 }
 
 // buildPlan memoizes the freshly built epoch plan: its fragmentation
@@ -332,5 +391,5 @@ func (r *Runner) done() bool {
 	if len(r.cfg.Script) > 0 {
 		return r.scriptPos == len(r.cfg.Script) && r.doneCount() == len(r.accepted)
 	}
-	return len(r.accepted) >= r.cfg.AcceptTarget && r.doneCount() == len(r.accepted)
+	return r.acceptedN >= r.cfg.AcceptTarget && r.doneCount() == len(r.accepted)
 }

@@ -88,6 +88,27 @@ type Report struct {
 	LACOccupancy float64
 	LACProbes    int64
 
+	// AcceptedJobs is the total accepted-job count. It equals len(Jobs)
+	// except in streaming (FoldCompleted) mode, where Jobs is empty and
+	// the scalar aggregates below are the run's only per-job record.
+	AcceptedJobs int
+	// DeadlineHits/DeadlineJobs are DeadlineHitRate's integer numerator
+	// and denominator (policy-aware, as the paper counts).
+	DeadlineHits int
+	DeadlineJobs int
+	// GuaranteedHits/GuaranteedJobs count deadline outcomes over
+	// reserved-mode (non-Opportunistic) jobs regardless of policy — the
+	// cluster layer's fleet hit-rate aggregates these integers so the
+	// fleet rate is exact, not a float-average of per-node rates.
+	GuaranteedHits int
+	GuaranteedJobs int
+	// CPUCycles is the summed cycles jobs actually executed — the fleet
+	// utilization numerator, deterministic because it is an int64 sum.
+	CPUCycles int64
+	// AutoDowngradedJobs counts jobs the admission controller placed via
+	// automatic mode downgrade (§5).
+	AutoDowngradedJobs int
+
 	// Recorder holds the full event trace; Deadlines maps job ID to its
 	// absolute deadline for Gantt rendering.
 	Recorder  *trace.Recorder
@@ -101,97 +122,159 @@ type Report struct {
 	Faults FaultStats
 }
 
+// jobResult materializes one job's outcome row.
+func (r *Runner) jobResult(j *Job) JobResult {
+	res := JobResult{
+		ID:             j.ID,
+		Benchmark:      j.Profile.Name,
+		Mode:           j.Mode,
+		DlClass:        j.DlClass,
+		Arrival:        j.Arrival,
+		Started:        j.Started,
+		Completed:      j.Completed,
+		Deadline:       j.Deadline,
+		WallClock:      j.WallClock(),
+		Met:            j.MetDeadline() && j.State != StateTerminated,
+		AutoDowngraded: j.AutoDowngraded,
+		SwitchedBack:   j.switched,
+		Terminated:     j.State == StateTerminated,
+	}
+	if j.Stealer != nil {
+		res.MissIncrease = j.MissIncrease()
+		res.CPIIncrease = j.CPIIncrease()
+		res.WaysStolen = j.Stealer.Stolen()
+	}
+	return res
+}
+
+// jobFold accumulates per-job outcomes into the Report's aggregates.
+// It is the single accumulation path for both report modes: the batch
+// report feeds it in acceptance order at the end, the streaming
+// (FoldCompleted) runner feeds it at each completion and discards the
+// job, keeping memory independent of how many jobs the run admits.
+type jobFold struct {
+	jobs        int
+	terminated  int
+	autoDown    int
+	totalCycles int64
+	cpuCycles   int64
+	hits, den   int // policy-aware (the paper's hit rate)
+	gHits, gDen int // reserved-mode only (fleet aggregation)
+	elasticMiss float64
+	elasticCPI  float64
+	elasticN    int
+	wcByMode    map[string]*stats.Summary
+	oppWC       stats.Summary
+	faultMisses int
+}
+
+func newJobFold() *jobFold {
+	return &jobFold{wcByMode: map[string]*stats.Summary{}}
+}
+
+// add folds one finished job's outcome.
+func (f *jobFold) add(r *Runner, j *Job, res JobResult) {
+	f.jobs++
+	if res.Terminated {
+		f.terminated++
+	}
+	if res.AutoDowngraded {
+		f.autoDown++
+	}
+	if j.Stealer != nil {
+		f.elasticMiss += res.MissIncrease
+		f.elasticCPI += res.CPIIncrease
+		f.elasticN++
+	}
+	if res.Completed > f.totalCycles {
+		f.totalCycles = res.Completed
+	}
+	f.cpuCycles += j.ActualCycles
+	modeKey := res.Mode.String()
+	if r.cfg.Policy.noAdmission() {
+		modeKey = r.cfg.Policy.String()
+	} else if res.AutoDowngraded {
+		modeKey = "AutoDown"
+	}
+	s, ok := f.wcByMode[modeKey]
+	if !ok {
+		s = &stats.Summary{}
+		f.wcByMode[modeKey] = s
+	}
+	s.Add(float64(res.WallClock))
+	if res.Mode.Kind == qos.KindOpportunistic {
+		f.oppWC.Add(float64(res.WallClock))
+	} else {
+		f.gDen++
+		if res.Met {
+			f.gHits++
+		}
+	}
+	// Deadline accounting: the paper computes hit rates over Strict
+	// and Elastic jobs for QoS configurations, over everything for
+	// EqualPart.
+	if r.cfg.Policy.noAdmission() || res.Mode.Kind != qos.KindOpportunistic {
+		f.den++
+		if res.Met {
+			f.hits++
+		}
+	}
+	if !r.cfg.Faults.Empty() && !res.Met && missInFaultWindow(res, r.cfg.Faults) {
+		f.faultMisses++
+	}
+}
+
+// foldJob streams one finished job into the fold (FoldCompleted mode);
+// advanceJob calls it at the completion/termination site.
+func (r *Runner) foldJob(j *Job) {
+	r.fold.add(r, j, r.jobResult(j))
+}
+
 // report assembles the Report after the run loop terminates.
 func (r *Runner) report() *Report {
 	rep := &Report{
-		Policy:          r.cfg.Policy,
-		Engine:          r.cfg.Engine,
-		Workload:        r.cfg.Workload.Name,
-		Rejected:        r.rejected,
-		WallClockByMode: map[string]*stats.Summary{},
-		Recorder:        r.rec,
-		Deadlines:       map[int]int64{},
+		Policy:    r.cfg.Policy,
+		Engine:    r.cfg.Engine,
+		Workload:  r.cfg.Workload.Name,
+		Rejected:  r.rejected,
+		Recorder:  r.rec,
+		Deadlines: map[int]int64{},
 	}
-	hits, hitDen := 0, 0
-	var elasticMiss, elasticCPI float64
-	elasticN := 0
-	for _, j := range r.accepted {
-		res := JobResult{
-			ID:             j.ID,
-			Benchmark:      j.Profile.Name,
-			Mode:           j.Mode,
-			DlClass:        j.DlClass,
-			Arrival:        j.Arrival,
-			Started:        j.Started,
-			Completed:      j.Completed,
-			Deadline:       j.Deadline,
-			WallClock:      j.WallClock(),
-			Met:            j.MetDeadline() && j.State != StateTerminated,
-			AutoDowngraded: j.AutoDowngraded,
-			SwitchedBack:   j.switched,
-			Terminated:     j.State == StateTerminated,
-		}
-		if res.Terminated {
-			rep.Terminated++
-		}
-		if j.Stealer != nil {
-			res.MissIncrease = j.MissIncrease()
-			res.CPIIncrease = j.CPIIncrease()
-			res.WaysStolen = j.Stealer.Stolen()
-			elasticMiss += res.MissIncrease
-			elasticCPI += res.CPIIncrease
-			elasticN++
-		}
-		rep.Jobs = append(rep.Jobs, res)
-		rep.Deadlines[j.ID] = j.Deadline
-		if j.Completed > rep.TotalCycles {
-			rep.TotalCycles = j.Completed
-		}
-		modeKey := j.Mode.String()
-		if r.cfg.Policy.noAdmission() {
-			modeKey = r.cfg.Policy.String()
-		} else if j.AutoDowngraded {
-			modeKey = "AutoDown"
-		}
-		s, ok := rep.WallClockByMode[modeKey]
-		if !ok {
-			s = &stats.Summary{}
-			rep.WallClockByMode[modeKey] = s
-		}
-		s.Add(float64(j.WallClock()))
-		if j.Mode.Kind == qos.KindOpportunistic {
-			rep.OppWallClock.Add(float64(j.WallClock()))
-		}
-		// Deadline accounting: the paper computes hit rates over Strict
-		// and Elastic jobs for QoS configurations, over everything for
-		// EqualPart.
-		counts := r.cfg.Policy.noAdmission() || j.Mode.Kind != qos.KindOpportunistic
-		if counts {
-			hitDen++
-			if res.Met {
-				hits++
-			}
+	f := r.fold
+	if f == nil {
+		// Batch mode: every accepted job is still in the slice; fold them
+		// in acceptance order (the historical accumulation order) while
+		// materializing the per-job rows.
+		f = newJobFold()
+		for _, j := range r.accepted {
+			res := r.jobResult(j)
+			f.add(r, j, res)
+			rep.Jobs = append(rep.Jobs, res)
+			rep.Deadlines[j.ID] = j.Deadline
 		}
 	}
-	if hitDen > 0 {
-		rep.DeadlineHitRate = float64(hits) / float64(hitDen)
+	rep.AcceptedJobs = f.jobs
+	rep.AutoDowngradedJobs = f.autoDown
+	rep.Terminated = f.terminated
+	rep.TotalCycles = f.totalCycles
+	rep.CPUCycles = f.cpuCycles
+	rep.WallClockByMode = f.wcByMode
+	rep.OppWallClock = f.oppWC
+	rep.DeadlineHits, rep.DeadlineJobs = f.hits, f.den
+	rep.GuaranteedHits, rep.GuaranteedJobs = f.gHits, f.gDen
+	if f.den > 0 {
+		rep.DeadlineHitRate = float64(f.hits) / float64(f.den)
 	}
-	if elasticN > 0 {
-		rep.ElasticMissIncrease = elasticMiss / float64(elasticN)
-		rep.ElasticCPIIncrease = elasticCPI / float64(elasticN)
+	if f.elasticN > 0 {
+		rep.ElasticMissIncrease = f.elasticMiss / float64(f.elasticN)
+		rep.ElasticCPIIncrease = f.elasticCPI / float64(f.elasticN)
 	}
 	if r.lac != nil {
 		rep.LACOccupancy = r.lac.Occupancy(rep.TotalCycles)
 		rep.LACProbes, _, _ = r.lac.Counters()
 	}
 	rep.Faults = r.fstats
-	if !r.cfg.Faults.Empty() {
-		for _, res := range rep.Jobs {
-			if !res.Met && missInFaultWindow(res, r.cfg.Faults) {
-				rep.Faults.MissesInFaultWindows++
-			}
-		}
-	}
+	rep.Faults.MissesInFaultWindows += f.faultMisses
 	if r.seriesS != nil {
 		rep.Series = r.seriesS.series
 	}

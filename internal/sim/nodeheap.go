@@ -1,0 +1,142 @@
+// nodeHeap is the indexed binary min-heap under the cluster dispatch
+// index: node ids ordered by a three-component lexicographic key, with
+// an id→slot position table so membership tests, keyed updates, and
+// removals are all O(log N) (or O(1) for the lookup itself). The
+// dispatch index keeps one heap per candidate pool and moves nodes
+// between pools as their placement bounds change.
+package sim
+
+// nodeKey orders dispatch candidates lexicographically. The components
+// are pool-specific: (start bound, live load, node id) for the future
+// pool, (live load, node id, 0) for the available pool.
+type nodeKey [3]int64
+
+func keyLess(a, b nodeKey) bool {
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	if a[1] != b[1] {
+		return a[1] < b[1]
+	}
+	return a[2] < b[2]
+}
+
+// nodeHeap holds a subset of the cluster's nodes. ids is the heap
+// array; pos maps node id → heap slot (-1 when absent); keys maps node
+// id → its current key (valid only while present).
+type nodeHeap struct {
+	ids  []int32
+	pos  []int32
+	keys []nodeKey
+}
+
+func newNodeHeap(n int) *nodeHeap {
+	h := &nodeHeap{
+		ids:  make([]int32, 0, n),
+		pos:  make([]int32, n),
+		keys: make([]nodeKey, n),
+	}
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+	return h
+}
+
+// contains reports whether node id is in the heap.
+func (h *nodeHeap) contains(id int) bool { return h.pos[id] >= 0 }
+
+// len returns the number of nodes held.
+func (h *nodeHeap) len() int { return len(h.ids) }
+
+// top returns the minimum-key node without removing it.
+func (h *nodeHeap) top() (id int, key nodeKey, ok bool) {
+	if len(h.ids) == 0 {
+		return 0, nodeKey{}, false
+	}
+	id = int(h.ids[0])
+	return id, h.keys[id], true
+}
+
+// fix inserts node id with the given key, or re-keys it in place if
+// already present.
+func (h *nodeHeap) fix(id int, key nodeKey) {
+	h.keys[id] = key
+	if p := h.pos[id]; p >= 0 {
+		if !h.up(int(p)) {
+			h.down(int(p))
+		}
+		return
+	}
+	h.pos[id] = int32(len(h.ids))
+	h.ids = append(h.ids, int32(id))
+	h.up(len(h.ids) - 1)
+}
+
+// remove drops node id if present.
+func (h *nodeHeap) remove(id int) {
+	p := h.pos[id]
+	if p < 0 {
+		return
+	}
+	last := len(h.ids) - 1
+	h.swap(int(p), last)
+	h.ids = h.ids[:last]
+	h.pos[id] = -1
+	if int(p) < last {
+		if !h.up(int(p)) {
+			h.down(int(p))
+		}
+	}
+}
+
+// pop removes and returns the minimum-key node.
+func (h *nodeHeap) pop() (id int, key nodeKey, ok bool) {
+	id, key, ok = h.top()
+	if ok {
+		h.remove(id)
+	}
+	return id, key, ok
+}
+
+func (h *nodeHeap) less(i, j int) bool {
+	return keyLess(h.keys[h.ids[i]], h.keys[h.ids[j]])
+}
+
+func (h *nodeHeap) swap(i, j int) {
+	h.ids[i], h.ids[j] = h.ids[j], h.ids[i]
+	h.pos[h.ids[i]] = int32(i)
+	h.pos[h.ids[j]] = int32(j)
+}
+
+func (h *nodeHeap) up(i int) bool {
+	moved := false
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+		moved = true
+	}
+	return moved
+}
+
+func (h *nodeHeap) down(i int) {
+	n := len(h.ids)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.less(l, small) {
+			small = l
+		}
+		if r < n && h.less(r, small) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h.swap(i, small)
+		i = small
+	}
+}

@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestNodeHeapAgainstReference(t *testing.T) {
+	const n = 64
+	h := newNodeHeap(n)
+	ref := map[int]nodeKey{}
+	rng := rand.New(rand.NewSource(11))
+	key := func() nodeKey {
+		return nodeKey{int64(rng.Intn(8)), int64(rng.Intn(8)), int64(rng.Intn(8))}
+	}
+	refTop := func() (int, nodeKey, bool) {
+		ids := make([]int, 0, len(ref))
+		for id := range ref {
+			ids = append(ids, id)
+		}
+		if len(ids) == 0 {
+			return -1, nodeKey{}, false
+		}
+		sort.Slice(ids, func(a, b int) bool {
+			if ref[ids[a]] != ref[ids[b]] {
+				return keyLess(ref[ids[a]], ref[ids[b]])
+			}
+			return ids[a] < ids[b]
+		})
+		return ids[0], ref[ids[0]], true
+	}
+	for op := 0; op < 20_000; op++ {
+		id := rng.Intn(n)
+		switch rng.Intn(4) {
+		case 0, 1: // insert or re-key
+			k := key()
+			h.fix(id, k)
+			ref[id] = k
+		case 2:
+			h.remove(id)
+			delete(ref, id)
+		case 3:
+			if id, k, ok := h.pop(); ok {
+				want, wantKey, _ := refTop()
+				// Equal keys may resolve to either id; accept any id holding
+				// the minimal key.
+				if keyLess(wantKey, k) || keyLess(k, wantKey) {
+					t.Fatalf("op %d: popped key %v, want %v (id %d vs %d)", op, k, wantKey, id, want)
+				}
+				delete(ref, id)
+			} else if len(ref) != 0 {
+				t.Fatalf("op %d: heap empty but reference has %d entries", op, len(ref))
+			}
+		}
+		if h.len() != len(ref) {
+			t.Fatalf("op %d: len %d != reference %d", op, h.len(), len(ref))
+		}
+		if id, k, ok := h.top(); ok {
+			if _, wantKey, _ := refTop(); keyLess(wantKey, k) || keyLess(k, wantKey) {
+				t.Fatalf("op %d: top (%d,%v), want key %v", op, id, k, wantKey)
+			}
+		}
+	}
+}

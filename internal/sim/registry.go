@@ -60,7 +60,7 @@ func RegisterAdmission(name string, build func(Config) qos.AdmissionPolicy) {
 	registerPolicy(admissions, "admission", name, build)
 }
 
-func registerPolicy[T any](m map[string]func(Config) T, kind, name string, build func(Config) T) {
+func registerPolicy[C, T any](m map[string]func(C) T, kind, name string, build func(C) T) {
 	if name == "" || build == nil {
 		panic(fmt.Sprintf("sim: %s registration needs a name and constructor", kind))
 	}
@@ -79,7 +79,7 @@ func AllocatorNames() []string { return policyNames(allocators) }
 // AdmissionNames lists the registered admission policies, sorted.
 func AdmissionNames() []string { return policyNames(admissions) }
 
-func policyNames[T any](m map[string]func(Config) T) []string {
+func policyNames[C, T any](m map[string]func(C) T) []string {
 	names := make([]string, 0, len(m))
 	for n := range m {
 		names = append(names, n)

@@ -40,7 +40,9 @@ func (r *Runner) AddSink(s Sink) { r.sinks = append(r.sinks, s) }
 // dynamic dispatch; r.sinks is empty unless AddSink was used, so the
 // observer loop costs one length check on the default pipeline.
 func (r *Runner) emit(ev trace.Event) {
-	r.rec.Record(ev)
+	if r.rec != nil { // nil in streaming (FoldCompleted) mode
+		r.rec.Record(ev)
+	}
 	for _, s := range r.sinks {
 		s.Event(ev)
 	}

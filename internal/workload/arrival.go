@@ -2,6 +2,8 @@ package workload
 
 import (
 	"fmt"
+	"math"
+	"math/rand"
 )
 
 // DeadlineClass is the tightness of a job's deadline relative to its
@@ -103,4 +105,73 @@ func (a *Arrivals) Next() int64 {
 	v := a.times[a.pos]
 	a.pos++
 	return v
+}
+
+// ArrivalStream is the streaming face of Arrivals: it draws the exact
+// timestamp sequence the memoized tape holds for the same (seed, rate),
+// but keeps only the generator state. Fleet-scale cluster runs consume
+// tens of millions of arrivals; a tape would materialize every one of
+// them, a stream materializes none.
+type ArrivalStream struct {
+	rng  *rand.Rand
+	rate float64
+	now  float64
+}
+
+// NewArrivalStream builds an unmemoized Poisson arrival process with the
+// given mean number of arrivals per twCycles window. For equal
+// (seed, probesPerTw, twCycles) it produces the identical sequence to
+// NewArrivals.
+func NewArrivalStream(seed int64, probesPerTw float64, twCycles int64) *ArrivalStream {
+	if probesPerTw <= 0 || twCycles <= 0 {
+		panic("workload: arrivals need positive rate and window")
+	}
+	return &ArrivalStream{
+		rng:  rand.New(rand.NewSource(seed)),
+		rate: probesPerTw / float64(twCycles),
+	}
+}
+
+// Next returns the cycle timestamp of the next arrival; timestamps are
+// strictly non-decreasing.
+func (s *ArrivalStream) Next() int64 {
+	// Exponential inter-arrival with mean 1/rate cycles — the exact draw
+	// sequence the arrival tape produces.
+	gap := -math.Log(1-s.rng.Float64()) / s.rate
+	s.now += gap
+	return int64(s.now)
+}
+
+// DeadlineStream is the streaming face of DeadlineMix: the same shuffled
+// 5/3/2 blocks of ten, drawn from generator state instead of a
+// materialized tape, for workloads whose class sequence is consumed
+// millions of times.
+type DeadlineStream struct {
+	rng   *rand.Rand
+	block [10]DeadlineClass
+	pos   int
+}
+
+// NewDeadlineStream builds an unmemoized deadline assigner producing the
+// identical class sequence to NewDeadlineMix for the same seed.
+func NewDeadlineStream(seed int64) *DeadlineStream {
+	return &DeadlineStream{rng: rand.New(rand.NewSource(seed)), pos: 10}
+}
+
+// Next returns the deadline class for the next job.
+func (s *DeadlineStream) Next() DeadlineClass {
+	if s.pos == len(s.block) {
+		s.block = [...]DeadlineClass{
+			DeadlineTight, DeadlineTight, DeadlineTight, DeadlineTight, DeadlineTight,
+			DeadlineModerate, DeadlineModerate, DeadlineModerate,
+			DeadlineRelaxed, DeadlineRelaxed,
+		}
+		s.rng.Shuffle(len(s.block), func(i, j int) {
+			s.block[i], s.block[j] = s.block[j], s.block[i]
+		})
+		s.pos = 0
+	}
+	c := s.block[s.pos]
+	s.pos++
+	return c
 }

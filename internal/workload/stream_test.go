@@ -1,0 +1,43 @@
+package workload
+
+import "testing"
+
+func TestArrivalStreamMatchesTape(t *testing.T) {
+	// The streaming generator must draw the exact sequence the memoized
+	// tape draws — the cluster layer swaps one for the other and its
+	// placements are pinned by golden hashes.
+	tw := int64(10_000_000)
+	tape := NewArrivals(7, DefaultProbesPerTw, tw)
+	stream := NewArrivalStream(7, DefaultProbesPerTw, tw)
+	for i := 0; i < 20_000; i++ {
+		if a, b := tape.Next(), stream.Next(); a != b {
+			t.Fatalf("arrival %d: tape %d != stream %d", i, a, b)
+		}
+	}
+}
+
+func TestDeadlineStreamMatchesTape(t *testing.T) {
+	tape := NewDeadlineMix(7)
+	stream := NewDeadlineStream(7)
+	for i := 0; i < 5_000; i++ {
+		if a, b := tape.Next(), stream.Next(); a != b {
+			t.Fatalf("deadline %d: tape %v != stream %v", i, a, b)
+		}
+	}
+}
+
+func TestArrivalStreamValidation(t *testing.T) {
+	for _, tc := range []struct {
+		rate float64
+		tw   int64
+	}{{0, 100}, {-1, 100}, {512, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewArrivalStream(%v,%v) did not panic", tc.rate, tc.tw)
+				}
+			}()
+			NewArrivalStream(1, tc.rate, tc.tw)
+		}()
+	}
+}
