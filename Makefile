@@ -49,12 +49,13 @@ fuzz:
 bench:
 	scripts/bench.sh
 
-# bench-smoke compiles and runs the timeline admission and cluster
-# dispatch benches once each (-benchtime=1x): a CI guard that the
-# O(log n) structures and their benchmarks keep building and running —
+# bench-smoke compiles and runs the timeline admission, cluster
+# dispatch, and event-horizon steady-state benches once each
+# (-benchtime=1x): a CI guard that the O(log n) structures, the
+# fast-forward path, and their benchmarks keep building and running —
 # timings are meaningless here.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkTimeline|BenchmarkClusterDispatch' -benchtime=1x -timeout 10m .
+	$(GO) test -run '^$$' -bench 'BenchmarkTimeline|BenchmarkClusterDispatch|BenchmarkSimSteadyState|BenchmarkClusterSteadyFleet' -benchtime=1x -timeout 10m .
 
 clean:
 	$(GO) clean ./...

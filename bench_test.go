@@ -430,6 +430,88 @@ func BenchmarkSimTableEngineNoPlanCache(b *testing.B) {
 	}
 }
 
+// BenchmarkSimTableEngineNoEventSkip completes the ablation triple:
+// plan cache on but the event-horizon fast-forward off. At this bench's
+// deliberately event-dense scale (10M-instruction jobs) the two run
+// near parity — the plan cache already makes steady epochs cheap and
+// most windows end at a real QoS event — which is itself the claim
+// worth pinning: the fast-forward's proof obligations do not tax
+// event-dense runs. The steady-state win is measured by the
+// SimSteadyState and ClusterSteadyFleet pairs below.
+func BenchmarkSimTableEngineNoEventSkip(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := sim.DefaultConfig(sim.Hybrid2, workload.Single("bzip2"))
+		cfg.JobInstr = 10_000_000
+		cfg.StealIntervalInstr = 100_000
+		cfg.DisableEventSkip = true
+		r, err := sim.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchSteadyNode runs one node at the paper's own scale — ten
+// 200M-instruction jobs, 250k-cycle epochs — where the run is a handful
+// of QoS events separated by hundreds of thousands of steady epochs.
+// This is the regime the event-horizon fast-forward targets: with it on,
+// ~90% of epochs advance in closed form.
+func benchSteadyNode(b *testing.B, disableSkip bool) {
+	skipped, total := int64(0), int64(0)
+	for i := 0; i < b.N; i++ {
+		cfg := sim.DefaultConfig(sim.Hybrid2, workload.Single("bzip2"))
+		cfg.DisableEventSkip = disableSkip
+		r, err := sim.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := r.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		skipped += rep.EpochsSkipped
+		total += rep.EpochsStepped + rep.EpochsSkipped
+	}
+	b.ReportMetric(float64(skipped)/float64(total), "skipped-frac")
+}
+
+// BenchmarkSimSteadyState measures the paper-scale single-node run with
+// the event-horizon fast-forward on; its NoEventSkip pair is the same
+// simulation stepped epoch by epoch. Reports byte-identical either way.
+func BenchmarkSimSteadyState(b *testing.B)            { benchSteadyNode(b, false) }
+func BenchmarkSimSteadyStateNoEventSkip(b *testing.B) { benchSteadyNode(b, true) }
+
+// benchSteadyFleet is the fleet-scale version of the steady-state pair:
+// 1000 paper-scale nodes draining two jobs each. With event skip on the
+// calendar only touches nodes at their next QoS event, so fleet cost
+// scales with events rather than epochs × nodes — the acceptance target
+// is a ≥3x win for the skip-on variant over its pair.
+func benchSteadyFleet(b *testing.B, disableSkip bool) {
+	skipped, total := int64(0), int64(0)
+	for i := 0; i < b.N; i++ {
+		node := sim.DefaultConfig(sim.Hybrid2, workload.Single("bzip2"))
+		node.DisableEventSkip = disableSkip
+		cfg := sim.ClusterConfig{Nodes: 1000, Node: node, AcceptTarget: 2000}
+		cr, err := sim.NewCluster(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := cr.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		skipped += rep.EpochsSkipped
+		total += rep.EpochsStepped + rep.EpochsSkipped
+	}
+	b.ReportMetric(float64(skipped)/float64(total), "skipped-frac")
+}
+
+func BenchmarkClusterSteadyFleet(b *testing.B)            { benchSteadyFleet(b, false) }
+func BenchmarkClusterSteadyFleetNoEventSkip(b *testing.B) { benchSteadyFleet(b, true) }
+
 // BenchmarkExperimentPairRunCacheOff/On measure the end-to-end win of
 // the cross-experiment run cache on a real repeated workload: Figure 6
 // studies the same policy×bzip2 configurations Figure 5 already ran, so

@@ -42,6 +42,7 @@ func main() {
 		seeds     = flag.Int("seeds", 1, "with -simulate: run this many seeds of the job file")
 		parallel  = flag.Int("parallel", 1, "with -simulate: worker bound for the seed runs (0 = one per CPU)")
 		runCache  = flag.Bool("runcache", true, "with -simulate: memoize repeated simulation configs")
+		eventSkip = flag.Bool("eventskip", true, "with -simulate: fast-forward steady-state epochs in closed form (bit-identical either way)")
 		faults    = flag.String("faults", "", "with -simulate: fault plan file, or a fault rate (events per gigacycle) to generate one; merged with the job file's fault directives")
 		faultSeed = flag.Int64("fault-seed", 1, "seed for a generated -faults rate plan")
 		sched     = flag.String("sched", "", "with -simulate: core scheduler policy: "+cli.PolicyList(sim.SchedulerNames())+" (empty = policy default)")
@@ -77,7 +78,7 @@ func main() {
 		if err != nil {
 			cli.Fail(prog, err)
 		}
-		runSimulation(spec, *instr, *seeds, *parallel, *runCache, plan, *timeout,
+		runSimulation(spec, *instr, *seeds, *parallel, *runCache, !*eventSkip, plan, *timeout,
 			pipelineNames{*sched, *alloc, *admit})
 		return
 	}
@@ -178,7 +179,7 @@ type pipelineNames struct {
 	scheduler, allocator, admission string
 }
 
-func runSimulation(spec *jobfile.Spec, instr int64, seeds, workers int, useCache bool, plan fault.Plan, timeout time.Duration, pipe pipelineNames) {
+func runSimulation(spec *jobfile.Spec, instr int64, seeds, workers int, useCache, noSkip bool, plan fault.Plan, timeout time.Duration, pipe pipelineNames) {
 	if seeds < 1 {
 		seeds = 1
 	}
@@ -201,6 +202,7 @@ func runSimulation(spec *jobfile.Spec, instr int64, seeds, workers int, useCache
 		cfg.Scheduler = pipe.scheduler
 		cfg.Allocator = pipe.allocator
 		cfg.Admission = pipe.admission
+		cfg.DisableEventSkip = noSkip
 		cfg.Seed += int64(s)
 		cfgs = append(cfgs, cfg)
 	}

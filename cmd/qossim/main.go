@@ -41,6 +41,7 @@ func main() {
 		html      = flag.String("html", "", "write a single-file HTML report of ALL experiments to this path")
 		runCache  = flag.Bool("runcache", true, "memoize repeated simulation configs across experiments")
 		planCach  = flag.Bool("plancache", true, "reuse the epoch plan between QoS events inside the sim engine")
+		eventSkip = flag.Bool("eventskip", true, "fast-forward steady-state epochs in closed form (bit-identical either way)")
 		faultRate = flag.Float64("faults", 0, "fault rate in events per gigacycle for the faults experiment (0 = its default sweep)")
 		faultSeed = flag.Int64("fault-seed", 0, "fault plan generator seed for the faults experiment (0 = default)")
 		sched     = flag.String("sched", "", "core scheduler policy: "+cli.PolicyList(sim.SchedulerNames())+" (empty = policy default)")
@@ -81,6 +82,7 @@ func main() {
 		Workers:          *parallel,
 		DisableRunCache:  !*runCache,
 		DisablePlanCache: !*planCach,
+		DisableEventSkip: !*eventSkip,
 		FaultRate:        *faultRate,
 		FaultSeed:        *faultSeed,
 		Scheduler:        *sched,

@@ -34,6 +34,10 @@ type FleetRow struct {
 	Utilization   float64
 	Makespan      int64
 	JobsPerGcycle float64
+	// EpochsStepped/EpochsSkipped are the fleet's engine counters: node
+	// epochs executed one by one vs. fast-forwarded in closed form.
+	EpochsStepped int64
+	EpochsSkipped int64
 }
 
 // ClusterResult exercises the paper's Figure 2 working environment: a
@@ -139,6 +143,8 @@ func clusterFleet(o Options) (*ClusterResult, error) {
 			Utilization:   rep.Utilization,
 			Makespan:      rep.TotalCycles,
 			JobsPerGcycle: float64(rep.Accepted) / (float64(rep.TotalCycles) / 1e9),
+			EpochsStepped: rep.EpochsStepped,
+			EpochsSkipped: rep.EpochsSkipped,
 		})
 	}
 	return res, nil
@@ -149,11 +155,16 @@ func (r *ClusterResult) Render(w io.Writer) {
 	if len(r.Fleet) > 0 {
 		fmt.Fprintf(w, "Fleet sweep — GAC dispatch policies over %d CMP nodes (Hybrid-2, bzip2, %d jobs)\n",
 			r.Fleet[0].Nodes, r.Fleet[0].Jobs)
-		fmt.Fprintln(w, "dispatcher   accepted   rejected   violations   hit-rate   utilization   makespan   jobs/Gcyc")
+		fmt.Fprintln(w, "dispatcher   accepted   rejected   violations   hit-rate   utilization   makespan   jobs/Gcyc   epochs-skipped")
 		for _, row := range r.Fleet {
-			fmt.Fprintf(w, "%-10s  %9d  %9d  %11d  %8s  %11.4f  %9s  %10.2f\n",
+			skip := "-"
+			if total := row.EpochsStepped + row.EpochsSkipped; total > 0 {
+				skip = fmt.Sprintf("%d (%.0f%%)", row.EpochsSkipped,
+					100*float64(row.EpochsSkipped)/float64(total))
+			}
+			fmt.Fprintf(w, "%-10s  %9d  %9d  %11d  %8s  %11.4f  %9s  %10.2f   %s\n",
 				row.Dispatcher, row.Accepted, row.Rejected, row.Violations,
-				pct(row.HitRate), row.Utilization, mcycles(row.Makespan), row.JobsPerGcycle)
+				pct(row.HitRate), row.Utilization, mcycles(row.Makespan), row.JobsPerGcycle, skip)
 		}
 		return
 	}

@@ -48,6 +48,11 @@ type Options struct {
 	// sim.Config.DisablePlanCache); used by the byte-identity tests and
 	// benchmarks.
 	DisablePlanCache bool
+	// DisableEventSkip turns off the engine's event-horizon fast-forward
+	// (forwarded to sim.Config.DisableEventSkip), executing every
+	// steady-state epoch individually. Results are bit-identical either
+	// way; used by the differential tests and benchmarks.
+	DisableEventSkip bool
 	// FaultRate and FaultSeed parameterize the faults experiment: events
 	// per gigacycle and the plan generator seed. Zero rate means the
 	// experiment sweeps its default rate grid.
@@ -113,6 +118,7 @@ func (o Options) config(p sim.Policy, w workload.Composition) sim.Config {
 		cfg.Seed = o.Seed
 	}
 	cfg.DisablePlanCache = o.DisablePlanCache
+	cfg.DisableEventSkip = o.DisableEventSkip
 	cfg.Scheduler = o.Scheduler
 	cfg.Allocator = o.Allocator
 	cfg.Admission = o.Admission

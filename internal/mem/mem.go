@@ -103,6 +103,41 @@ func (b *Bus) Roll(windowCycles int64) {
 // in [0, 1].
 func (b *Bus) Utilization() float64 { return b.utilization }
 
+// WindowUtilization returns the utilization a window of `transfers`
+// block transfers over windowCycles core cycles would yield — Roll's
+// exact formula (including the cap at 1) without mutating the bus. The
+// event-horizon fast-forward uses it as its fixed-point test: a steady
+// epoch may be skipped only when the utilization the next window would
+// compute is bit-identical to the current one, so every contention
+// penalty in the skipped epochs is bit-identical too.
+func (b *Bus) WindowUtilization(transfers, windowCycles int64) float64 {
+	if windowCycles <= 0 {
+		return b.utilization
+	}
+	seconds := float64(windowCycles) / b.cfg.ClockHz
+	demand := float64(transfers) * float64(b.cfg.BlockBytes)
+	u := demand / (b.cfg.PeakBytesPerS * seconds)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// FastForward replays k identical measurement windows, each carrying
+// `misses` fill transfers and `writeBacks` dirty-eviction transfers over
+// windowCycles cycles, in closed form: the lifetime totals advance by
+// k windows' worth and the last-window utilization becomes that of one
+// such window. The caller must be at a window boundary (just after
+// Roll) and must have verified the fixed point via WindowUtilization;
+// the totals are integer sums, so k windows folded at once are exact.
+func (b *Bus) FastForward(misses, writeBacks, windowCycles, k int64) {
+	b.totalMisses += k * misses
+	b.totalWriteBacks += k * writeBacks
+	b.totalBytes += k * (misses + writeBacks) * int64(b.cfg.BlockBytes)
+	b.utilization = b.WindowUtilization(misses+writeBacks, windowCycles)
+	b.windowMisses = 0
+}
+
 // Saturated reports whether the last window's utilization crossed the
 // configured saturation threshold. The resource-stealing controller
 // disables itself while this holds (paper §4.2 footnote 2).
@@ -133,8 +168,15 @@ func (p Priority) String() string {
 // weight: penalty = base·(1 + weight·ρ/(1−ρ)), capped at 4× base so a
 // fully saturated bus degrades rather than deadlocks the simulation.
 func (b *Bus) queuePenalty(weight float64) float64 {
+	return b.queuePenaltyAt(weight, b.utilization)
+}
+
+// queuePenaltyAt evaluates the queueing term at an explicit utilization
+// — bit-identical to queuePenalty when rho equals the live utilization.
+// The event-horizon fast-forward uses it to price the epochs of a bus
+// limit cycle without mutating the bus.
+func (b *Bus) queuePenaltyAt(weight, rho float64) float64 {
 	base := float64(b.cfg.BaseCycles)
-	rho := b.utilization
 	if rho <= 0 {
 		return base
 	}
@@ -154,6 +196,12 @@ func (b *Bus) queuePenalty(weight float64) float64 {
 // (at ρ=0.5 it is +25%, at ρ=0.85 +142%) and grows sharply at it.
 func (b *Bus) MissPenalty() float64 { return b.queuePenalty(0.25) }
 
+// MissPenaltyAt is MissPenalty evaluated at an explicit utilization.
+func (b *Bus) MissPenaltyAt(rho float64) float64 { return b.queuePenaltyAt(0.25, rho) }
+
+// SaturatedAt is Saturated evaluated at an explicit utilization.
+func (b *Bus) SaturatedAt(rho float64) bool { return rho >= b.cfg.SatThreshold }
+
 // MissPenaltyFor returns the class-specific penalty under priority
 // scheduling: reserved-class requests bypass most of the queue (their
 // delay stays near the unloaded latency until true saturation), while
@@ -165,6 +213,15 @@ func (b *Bus) MissPenaltyFor(p Priority) float64 {
 		return b.queuePenalty(0.08)
 	}
 	return b.queuePenalty(0.42)
+}
+
+// MissPenaltyForAt is MissPenaltyFor evaluated at an explicit
+// utilization.
+func (b *Bus) MissPenaltyForAt(p Priority, rho float64) float64 {
+	if p == PrioReserved {
+		return b.queuePenaltyAt(0.08, rho)
+	}
+	return b.queuePenaltyAt(0.42, rho)
 }
 
 // TotalMisses returns lifetime misses routed through the bus.

@@ -130,7 +130,13 @@ type ClusterReport struct {
 	CPUCycles       int64   // Σ retired cycles across the fleet
 	Utilization     float64 // CPUCycles / (Nodes · Cores · TotalCycles)
 	LACProbes       int64
-	WorstNodes      []NodeDigest
+	// EpochsStepped/EpochsSkipped sum the per-node engine counters: how
+	// many node-epochs executed individually vs. fast-forwarded in
+	// closed form (DESIGN §11). Idle epochs skipped by the calendar
+	// never touch a node and appear in neither counter.
+	EpochsStepped int64
+	EpochsSkipped int64
+	WorstNodes    []NodeDigest
 }
 
 // ClusterRunner simulates the GAC-fronted multi-node environment. The
@@ -161,6 +167,21 @@ type ClusterRunner struct {
 	active   []int32 // node ids with live jobs, ascending
 	inActive []bool
 	lastFin  []int // finished-job count last observed per node
+
+	// Event-horizon calendar (DESIGN §11): when the nodes can
+	// fast-forward (skipIdle and the node config's skipOK gate), active
+	// nodes that proved their next epochs steady sleep in a min-heap
+	// keyed by the absolute cycle their horizon expires, and an epoch
+	// touches only the nodes that are due — woken by an arrival or by
+	// horizon expiry. A sleeping node's clock lags the cluster's; it
+	// catches up (bit-identically, via the same closed form it proved)
+	// before anything observes or mutates it.
+	eventMode bool
+	cal       *nodeHeap // sleeping active nodes, key {horizonEnd, id, 0}
+	due       []int32   // nodes that must execute the current epoch
+	inDue     []bool
+	dueDirty  bool    // due gained out-of-order entries since last sort
+	horizons  []int64 // per-due-slot horizon scratch, reused every epoch
 }
 
 // NewCluster builds the cluster runner.
@@ -200,6 +221,11 @@ func NewCluster(cfg ClusterConfig) (*ClusterRunner, error) {
 		cfg.Node.ProbesPerTw*float64(cfg.Nodes), ref)
 	cr.nextArr = cr.arrivals.Next()
 	cr.disp = dispatchers[cfg.dispatcherName()](cr)
+	if cr.eventMode = cr.skipIdle && cr.nodes[0].skipOK; cr.eventMode {
+		cr.cal = newNodeHeap(cfg.Nodes)
+		cr.inDue = make([]bool, cfg.Nodes)
+		cr.horizons = make([]int64, cfg.Nodes)
+	}
 	return cr, nil
 }
 
@@ -213,16 +239,17 @@ func (cr *ClusterRunner) Run() (*ClusterReport, error) {
 // for any worker count.
 func (cr *ClusterRunner) RunParallel(ctx context.Context, workers int) (*ClusterReport, error) {
 	pool := parallel.New(workers)
-	epochs := int64(0)
+	if cr.eventMode {
+		return cr.runEvents(ctx, pool)
+	}
 	for !cr.done() {
 		if cr.now > cr.cfg.Node.MaxCycles {
 			return nil, fmt.Errorf("sim: cluster exceeded safety horizon with %d/%d accepted",
 				cr.accepted, cr.cfg.AcceptTarget)
 		}
-		if epochs%256 == 0 && ctx.Err() != nil {
-			return nil, ctx.Err()
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
-		epochs++
 		epochEnd := cr.now + cr.cfg.Node.EpochCycles
 		cr.placeArrivals(epochEnd)
 		if err := cr.stepEpoch(ctx, pool); err != nil {
@@ -234,9 +261,115 @@ func (cr *ClusterRunner) RunParallel(ctx context.Context, workers int) (*Cluster
 	return cr.report(), nil
 }
 
+// runEvents is the event-horizon main loop (DESIGN §11). Every epoch it
+// executes touches at least one due node or arrival; between events the
+// cluster clock jumps straight to the earliest sleeping horizon or the
+// next arrival's epoch. A node popped after sleeping replays its slept
+// epochs through the same closed form it proved before sleeping, so the
+// run is bit-identical to the epoch-by-epoch loop at any worker count.
+func (cr *ClusterRunner) runEvents(ctx context.Context, pool *parallel.Pool) (*ClusterReport, error) {
+	E := cr.cfg.Node.EpochCycles
+	for !cr.done() {
+		if cr.now > cr.cfg.Node.MaxCycles {
+			return nil, fmt.Errorf("sim: cluster exceeded safety horizon with %d/%d accepted",
+				cr.accepted, cr.cfg.AcceptTarget)
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		epochEnd := cr.now + E
+		cr.placeArrivals(epochEnd)
+		// Pop every sleeper whose horizon expires at this epoch.
+		for {
+			id, key, ok := cr.cal.top()
+			if !ok || key[0] > cr.now {
+				break
+			}
+			cr.cal.remove(id)
+			cr.markDue(id)
+		}
+		if cr.dueDirty {
+			sort.Slice(cr.due, func(a, b int) bool { return cr.due[a] < cr.due[b] })
+			cr.dueDirty = false
+		}
+		due, horizons := cr.due, cr.horizons
+		if _, err := parallel.Map(ctx, pool, len(due), func(i int) (struct{}, error) {
+			n := cr.nodes[due[i]]
+			n.catchUp(cr.now)
+			n.step()
+			horizons[i] = n.nextHorizon()
+			return struct{}{}, nil
+		}); err != nil {
+			return nil, err
+		}
+		// Serial completion observation in ascending id order — the same
+		// subsequence the epoch-by-epoch scan would produce, since
+		// non-due nodes cannot complete jobs while sleeping — then
+		// re-arm each node: one due again at the very next epoch carries
+		// over in the (still sorted) due list, bypassing the calendar —
+		// event-dense fleets would otherwise pay two O(log N) heap moves
+		// per node per epoch for nothing — while a node with a further
+		// horizon goes to sleep in the calendar.
+		kept := cr.due[:0]
+		for i, id := range due {
+			n := cr.nodes[id]
+			if fin := n.finishedCount(); fin > cr.lastFin[id] {
+				cr.lastFin[id] = fin
+				if cr.idx != nil {
+					cr.idx.noteFinished(int(id))
+				}
+			}
+			switch {
+			case n.idle():
+				cr.inDue[id] = false
+				cr.inActive[id] = false
+			case horizons[i] <= epochEnd:
+				kept = append(kept, id)
+			default:
+				cr.inDue[id] = false
+				cr.cal.fix(int(id), nodeKey{horizons[i], int64(id), 0})
+			}
+		}
+		cr.due = kept
+		cr.now = epochEnd
+		if len(cr.due) > 0 {
+			continue // carried-over nodes are due at this very epoch
+		}
+		// Jump to the next instant anything can happen: the earliest
+		// sleeping horizon, or the epoch holding the next arrival while
+		// arrivals still count toward the target.
+		next := int64(-1)
+		if _, key, ok := cr.cal.top(); ok {
+			next = key[0]
+		}
+		if cr.accepted < cr.cfg.AcceptTarget {
+			if arrEpoch := cr.nextArr - cr.nextArr%E; next < 0 || arrEpoch < next {
+				next = arrEpoch
+			}
+		}
+		if next > cr.now {
+			cr.now = next
+		}
+	}
+	return cr.report(), nil
+}
+
+// markDue queues a node for execution at the cluster's current epoch.
+func (cr *ClusterRunner) markDue(id int) {
+	if cr.inDue[id] {
+		return
+	}
+	cr.inDue[id] = true
+	cr.due = append(cr.due, int32(id))
+	cr.dueDirty = true
+}
+
 func (cr *ClusterRunner) done() bool {
 	if cr.accepted < cr.cfg.AcceptTarget {
 		return false
+	}
+	if cr.eventMode {
+		return cr.cal.len() == 0 && len(cr.due) == 0
 	}
 	if cr.skipIdle {
 		return len(cr.active) == 0
@@ -292,8 +425,22 @@ func (cr *ClusterRunner) placeArrivals(epochEnd int64) {
 }
 
 // wake brings an idle node back into the active set, fast-forwarding
-// its clock through the epochs it slept.
+// its clock through the epochs it slept. In event mode it also rouses
+// calendar sleepers: the submission that follows reads and mutates
+// admission state at the cluster clock, so the node replays its slept
+// epochs first and executes the current epoch with everyone else.
 func (cr *ClusterRunner) wake(id int) {
+	if cr.eventMode {
+		if !cr.inActive[id] {
+			cr.nodes[id].fastForwardIdle(cr.now)
+			cr.inActive[id] = true
+		} else if cr.cal.contains(id) {
+			cr.cal.remove(id)
+			cr.nodes[id].catchUp(cr.now)
+		}
+		cr.markDue(id)
+		return
+	}
 	if !cr.skipIdle || cr.inActive[id] {
 		return
 	}
@@ -378,6 +525,8 @@ func (cr *ClusterRunner) report() *ClusterReport {
 		rep.AutoDowngraded += nr.AutoDowngradedJobs
 		rep.CPUCycles += nr.CPUCycles
 		rep.LACProbes += nr.LACProbes
+		rep.EpochsStepped += nr.EpochsStepped
+		rep.EpochsSkipped += nr.EpochsSkipped
 		hits += nr.GuaranteedHits
 		den += nr.GuaranteedJobs
 		if cr.cfg.TopK > 0 {

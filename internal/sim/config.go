@@ -215,6 +215,15 @@ type Config struct {
 	// recomputation whose inputs have not changed — so this exists for
 	// verification and benchmarking, not semantics.
 	DisablePlanCache bool
+	// DisableEventSkip forces the engine to execute every steady-state
+	// epoch individually instead of advancing across provably-eventless
+	// windows in closed form (the event-horizon fast-forward, DESIGN
+	// §11). Results are bit-identical either way — a window is skipped
+	// only when every per-epoch quantity is proven constant across it —
+	// so this exists for verification and benchmarking, not semantics.
+	// The fast-forward also requires the plan cache, so
+	// DisablePlanCache implies it.
+	DisableEventSkip bool
 	// RecordSeries enables per-epoch telemetry sampling (running jobs,
 	// reserved ways, bus utilization) in the Report, at one sample per
 	// SeriesStride epochs (default 16 when enabled).

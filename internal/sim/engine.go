@@ -67,6 +67,25 @@ type Runner struct {
 	planWaysDirty bool
 	planWake      int64
 
+	// Event-horizon fast-forward (§11): when the cached plan holds and
+	// every per-epoch quantity is provably constant until the next
+	// event, steadyWindow computes how many epochs can be advanced in
+	// closed form and applySteady advances them (fastforward.go).
+	// skipOK is the static gate computed at construction; nStepped and
+	// nSkipped are the observable epoch counters (Report.EpochsStepped
+	// / EpochsSkipped); ffDeltas/ffDeltas2 are steadyWindow's per-job
+	// delta scratch — one slice per parity of the bus cycle it proved
+	// (ffPeriod 1 or 2) — consumed by the applySteady that follows it.
+	skipOK    bool
+	nStepped  int64
+	nSkipped  int64
+	ffPeriod  int64
+	ffDeltas  []jobDelta
+	ffDeltas2 []jobDelta
+	ffFails   int64 // consecutive priced failed proofs (backoff input)
+	ffDefer   int64 // steps left before the next window proof attempt
+	ffPriced  bool  // last attempt reached the O(jobs) delta pricing
+
 	// Admission scratch: one reusable RUM passed by pointer so the ~400
 	// probes per tw window don't each box a fresh value into the Request
 	// interface (the LAC copies what it needs and never retains the
@@ -176,6 +195,12 @@ func New(cfg Config) (*Runner, error) {
 	default:
 		r.model = newTableModel(cfg.CPU)
 	}
+	// The fast-forward requires closed-form per-epoch deltas: the table
+	// model under processor sharing (round-robin time-slicing positions
+	// work inside the epoch, and the trace engine draws fresh RNG per
+	// epoch), a valid plan cache, and no per-epoch telemetry.
+	r.skipOK = !cfg.DisableEventSkip && !cfg.DisablePlanCache &&
+		cfg.Engine != EngineTrace && cfg.SchedQuantumCycles == 0 && !cfg.RecordSeries
 	r.coreSched = make([]coreSchedState, cfg.Cores)
 	r.sc.byCore = make([][]*Job, cfg.Cores)
 	r.sc.load = make([]int, cfg.Cores)
@@ -225,21 +250,40 @@ func (r *Runner) Run() (*Report, error) {
 }
 
 // RunContext is Run with cancellation: the epoch loop polls ctx every
-// 1024 epochs (a quarter-gigacycle at default epoch length — frequent
-// enough to cancel promptly, rare enough to stay off the hot path) and
-// aborts with ctx's error when it fires. A nil ctx never cancels.
+// 64 stepped iterations (frequent enough to cancel promptly, rare
+// enough to stay off the hot path — a dedicated counter, because
+// epochIdx jumps across fast-forwarded windows and a modulus on it
+// could alias to never polling) and after every closed-form advance
+// chunk, so cancellation latency is bounded even when a single steady
+// window covers millions of epochs. A nil ctx never cancels.
 func (r *Runner) RunContext(ctx context.Context) (*Report, error) {
+	polls := 0
 	for !r.done() {
 		if r.now > r.cfg.MaxCycles {
 			return nil, fmt.Errorf("sim: exceeded safety horizon %d cycles with %d/%d accepted jobs done",
 				r.cfg.MaxCycles, r.doneCount(), len(r.accepted))
 		}
-		if ctx != nil && r.epochIdx&1023 == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, fmt.Errorf("sim: run canceled after %d cycles: %w", r.now, err)
+		if ctx != nil {
+			if polls&63 == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, fmt.Errorf("sim: run canceled after %d cycles: %w", r.now, err)
+				}
 			}
+			polls++
 		}
 		r.step()
+		for r.skipOK {
+			k := r.steadyWindow(ffChunkEpochs)
+			if k <= 0 {
+				break
+			}
+			r.applySteady(k)
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return nil, fmt.Errorf("sim: run canceled after %d cycles: %w", r.now, err)
+				}
+			}
+		}
 	}
 	return r.report(), nil
 }
@@ -301,6 +345,7 @@ func (r *Runner) step() {
 	}
 	r.now = epochEnd
 	r.epochIdx++
+	r.nStepped++
 	if r.fold != nil && r.doneN >= 256 && r.doneN >= len(r.accepted)/2 {
 		r.compact()
 	}
@@ -350,6 +395,7 @@ func (r *Runner) fastForwardIdle(to int64) {
 	r.bus.Roll(k * r.cfg.EpochCycles)
 	r.now += k * r.cfg.EpochCycles
 	r.epochIdx += k
+	r.nSkipped += k
 }
 
 // buildPlan memoizes the freshly built epoch plan: its fragmentation

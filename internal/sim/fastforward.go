@@ -1,0 +1,601 @@
+// Event-horizon fast-forward (DESIGN §11): between QoS events the epoch
+// loop repeats the same arithmetic — the plan cache already proves the
+// core/way plan constant, and this layer proves the *advance* constant
+// too, so a whole window of steady epochs collapses into one closed-form
+// update. steadyWindow computes the largest window k such that epochs
+// [now, now+k·E) are provably event-free and every per-epoch delta is
+// bit-identical across them; applySteady then advances job progress,
+// miss counters, the bus, fragmentation accounting, and the clock by k
+// epochs at once. Soundness is strict bit-identity: if any quantity
+// could differ from the stepped path — a clamp, a phase change, a bus
+// utilization drift, a stealing decision — the window shrinks to end
+// before it, or to zero, and the engine steps normally.
+//
+// The bus couples consecutive epochs: utilization sets the miss penalty,
+// the penalty sets per-epoch instructions, instructions set misses, and
+// misses set the next window's utilization. That feedback usually
+// converges not to a fixed point but to a period-2 limit cycle (u0 ↔ u1
+// oscillation), so the window supports both periods: period 1 when the
+// traffic reproduces the current utilization exactly, period 2 when the
+// two parities reproduce each other — each parity priced at its own
+// utilization, the window an even number of epochs, and saturation
+// state equal across both (so pause inputs stay constant).
+package sim
+
+import (
+	"cmpqos/internal/mem"
+	"cmpqos/internal/qos"
+	"cmpqos/internal/steal"
+)
+
+// ffChunkEpochs caps one applySteady call so cancellation (and the
+// cluster's catch-up loop) stays responsive even when a steady window
+// covers millions of epochs; chunking is exact because applySteady(a)
+// followed by applySteady(b) performs the same per-accumulator
+// operation sequences as applySteady(a+b).
+const ffChunkEpochs = int64(1) << 20
+
+// jobDelta is one planned job's per-epoch advance, captured by
+// steadyWindow and replayed k times by applySteady.
+type jobDelta struct {
+	j        *Job
+	instr    int64   // instructions retired per epoch
+	consumed int64   // cycles consumed per epoch
+	misses   int64   // main-tag misses per epoch
+	shadow   int64   // shadow-tag misses per epoch
+	wb       int64   // write-back transfers per epoch
+	base     float64 // BaselineCycles addend per epoch
+}
+
+// penaltyForAt is penaltyFor evaluated at an explicit bus utilization —
+// bit-identical to penaltyFor when u is the live utilization. The
+// second parity of a limit-cycle window prices its epochs with it.
+func (r *Runner) penaltyForAt(j *Job, u float64) float64 {
+	if !r.cfg.PrioritizeBus || r.cfg.Policy.noAdmission() {
+		return r.bus.MissPenaltyAt(u) * r.latFactor
+	}
+	if j.ReservedRunning(r.now) {
+		return r.bus.MissPenaltyForAt(mem.PrioReserved, u) * r.latFactor
+	}
+	return r.bus.MissPenaltyForAt(mem.PrioOpportunistic, u) * r.latFactor
+}
+
+// epochDeltas prices one steady epoch at bus utilization u, filling dst
+// with the per-job deltas in plan order and returning the epoch's total
+// fill and write-back transfers. For the second parity of a period-2
+// window, prev holds the first parity's deltas (same plan order): the
+// completion clamp then tests the job's remaining work *after* the
+// preceding epoch. Returns ok=false when any job would hit its
+// Remaining clamp or the model cannot guarantee constant deltas.
+func (r *Runner) epochDeltas(u float64, prev []jobDelta, dst *[]jobDelta) (miss, wb int64, ok bool) {
+	*dst = (*dst)[:0]
+	E := r.cfg.EpochCycles
+	idx := 0
+	for _, jobs := range r.sc.byCore {
+		n := int64(len(jobs))
+		if n == 0 {
+			continue
+		}
+		// Processor sharing, exactly as advanceAll splits the epoch
+		// (the skipOK gate excludes round-robin time-slicing).
+		share := E / n
+		for _, j := range jobs {
+			var off int64
+			if prev != nil {
+				off = prev[idx].instr
+			}
+			pen := r.penaltyForAt(j, u)
+			cpi := r.model.cpiFor(j, pen)
+			instr := int64(float64(share) / cpi)
+			if instr > j.Remaining()-off {
+				return 0, 0, false // the clamp fires: the job completes
+			}
+			if instr <= 0 {
+				instr = 1
+			}
+			misses, shadow, wbJ, okD := r.model.steadyDeltas(j, instr)
+			if !okD {
+				return 0, 0, false
+			}
+			base := float64(instr) * cpi
+			if j.Stealer != nil {
+				// CPIF at the original allocation (advanceJob's stealer
+				// baseline), constant while pen is.
+				base = float64(instr) * r.cfg.CPU.CPI(j.Profile.CPIL1Inf, j.Profile.L2APA, j.mpifRes, pen)
+			}
+			*dst = append(*dst, jobDelta{
+				j: j, instr: instr, consumed: int64(float64(instr) * cpi),
+				misses: misses, shadow: shadow, wb: wbJ, base: base,
+			})
+			miss += misses
+			wb += wbJ
+			idx++
+		}
+	}
+	return miss, wb, true
+}
+
+// steadyWindow returns how many upcoming epochs (at most maxK) can be
+// advanced in closed form, filling r.ffDeltas (and, for a period-2 bus
+// cycle, r.ffDeltas2 with r.ffPeriod=2) with the per-job deltas the
+// caller must apply via applySteady immediately (any intervening
+// mutation invalidates the scratch). Zero means "step normally".
+//
+// The window is the minimum of every event horizon:
+//   - planWake: the next timed scheduling transition (job start,
+//     auto-downgrade switch-back) — also what keeps every
+//     ReservedRunning test and its bus-priority penalty constant;
+//   - the next fault instant (applyFaults fires strictly below the
+//     epoch end, so k epochs are silent iff the next point is ≥ now+kE);
+//   - the next arrival (scripted or Poisson; cluster nodes receive
+//     arrivals externally and are horizon-capped by the cluster);
+//   - the next reservation boundary in the LAC timeline (defense in
+//     depth: the reserved-resource profile is constant inside the
+//     window, answered in O(log n) by the PR 6 profile treap);
+//   - per job: completion (no Remaining clamp may fire mid-window),
+//     the reserved wall-clock budget, the next workload phase change,
+//     and the resource-stealing interval guard (stealHorizon);
+//   - the bus: either a fixed point (the window's constant traffic
+//     reproduces the current utilization bit for bit) or a period-2
+//     limit cycle (each parity's traffic reproduces the other's
+//     utilization, with equal saturation state), which makes every
+//     penalty and Saturated() test inside the window exact by
+//     induction.
+func (r *Runner) steadyWindow(maxK int64) int64 {
+	if r.ffDefer > 0 {
+		// Backing off after recent failed proofs (see below): stepping is
+		// always exact, so deferring the attempt trades skipped epochs
+		// for not re-pricing a window that just failed to close. Without
+		// it, event-dense runs pay a failed O(jobs) proof per epoch.
+		r.ffDefer--
+		return 0
+	}
+	r.ffPriced = false
+	k := r.steadyAttempt(maxK)
+	switch {
+	case k > 0:
+		r.ffFails = 0
+	case r.ffPriced:
+		// Only a priced failure — one that got past the cheap horizon
+		// caps and paid the O(jobs) delta computation — escalates the
+		// backoff; cheap failures (stale plan, an imminent arrival or
+		// wake) cost a few compares and usually precede a provable
+		// window, so metering them would forfeit it.
+		if r.ffFails < 6 {
+			r.ffFails++
+		}
+		r.ffDefer = int64(1) << (r.ffFails - 1) // 1, 2, ... capped at 32
+	}
+	return k
+}
+
+// steadyAttempt is steadyWindow's proof body, separated so the backoff
+// above can meter how often it runs.
+func (r *Runner) steadyAttempt(maxK int64) int64 {
+	if !r.skipOK || !r.planOK || r.planWaysDirty || r.seriesS != nil || len(r.sinks) != 0 {
+		return 0
+	}
+	E := r.cfg.EpochCycles
+	N := r.now
+	if N >= r.planWake {
+		return 0
+	}
+	k := (r.planWake-1-N)/E + 1
+	if maxK < k {
+		k = maxK
+	}
+	if r.faultPos < len(r.faultPts) {
+		if kf := (r.faultPts[r.faultPos].at - N) / E; kf < k {
+			k = kf
+		}
+	}
+	if !r.external {
+		if len(r.cfg.Script) > 0 {
+			if r.scriptPos < len(r.cfg.Script) {
+				if ka := (r.cfg.Script[r.scriptPos].Arrival - N) / E; ka < k {
+					k = ka
+				}
+			}
+		} else if r.acceptedN < r.cfg.AcceptTarget {
+			if r.arrivals == nil {
+				return 0 // cursor not materialized yet; step creates it
+			}
+			if ka := (r.nextArr - N) / E; ka < k {
+				k = ka
+			}
+		}
+	}
+	if r.lac != nil {
+		if b, ok := r.lac.Timeline().NextBoundary(N); ok {
+			if kb := (b - N) / E; kb < k {
+				k = kb
+			}
+		}
+	}
+	if k <= 0 {
+		return 0
+	}
+
+	r.ffPriced = true
+	// First parity, priced at the live utilization. If its traffic
+	// reproduces that utilization exactly the window is period 1;
+	// otherwise try to close a period-2 cycle: the second parity, priced
+	// at the utilization the first one produces, must hand the exact
+	// starting utilization back (and must not flip saturation, which
+	// would flip the stealing pause input between parities).
+	u0 := r.bus.Utilization()
+	miss0, wb0, ok := r.epochDeltas(u0, nil, &r.ffDeltas)
+	if !ok {
+		return 0
+	}
+	u1 := r.bus.WindowUtilization(miss0+wb0, E)
+	r.ffPeriod = 1
+	if u1 != u0 {
+		if k < 2 || r.bus.SaturatedAt(u1) != r.bus.SaturatedAt(u0) {
+			return 0
+		}
+		miss1, wb1, ok := r.epochDeltas(u1, r.ffDeltas, &r.ffDeltas2)
+		if !ok {
+			return 0
+		}
+		if r.bus.WindowUtilization(miss1+wb1, E) != u0 {
+			return 0
+		}
+		r.ffPeriod = 2
+	}
+	P := r.ffPeriod
+	k -= k % P // the window must hand back the starting utilization
+
+	for i := range r.ffDeltas {
+		d0 := &r.ffDeltas[i]
+		j := d0.j
+		// iSum is the job's progress per period; extra the offset of the
+		// period's second epoch (its start is t·iSum+extra).
+		iSum, extra := d0.instr, int64(0)
+		if P == 2 {
+			iSum += r.ffDeltas2[i].instr
+			extra = d0.instr
+		}
+		// The job must keep ≥1 remaining instruction after every skipped
+		// epoch, so neither the clamp nor the completion path can fire
+		// inside the window (progress peaks at the window's end).
+		if kc := P * ((j.Remaining() - 1) / iSum); kc < k {
+			k = kc
+		}
+		if r.cfg.EnforceWallClock && j.ReservedRunning(N) {
+			// Replicates overBudget's budget end; the window must close
+			// before the first epoch whose start reaches it.
+			var budgetEnd int64
+			switch {
+			case j.AutoDowngraded:
+				budgetEnd = j.Deadline
+			case j.Mode.Kind == qos.KindElastic:
+				budgetEnd = j.Started + j.Mode.ReservationLength(j.TW)
+			default:
+				budgetEnd = j.Started + j.TW
+			}
+			if budgetEnd <= N {
+				return 0 // terminates this epoch
+			}
+			if kb := (budgetEnd-1-N)/E + 1; kb-kb%P < k {
+				k = kb - kb%P
+			}
+		}
+		if j.InstrTotal > 0 && len(j.Profile.Phases) > 0 && k > 0 {
+			if kp := P * phaseHorizon(j, iSum, extra, k/P); kp < k {
+				k = kp
+			}
+		}
+		if k <= 0 {
+			return 0
+		}
+	}
+	// Stealing guard: every repartitioning interval crossed inside the
+	// window must provably return Hold (or the window must end before
+	// the first crossing that acts). Runs last because it needs the
+	// per-epoch deltas and the already-minimized k.
+	for i := range r.ffDeltas {
+		d0 := &r.ffDeltas[i]
+		if d0.j.Stealer == nil || d0.j.State != StateRunning {
+			continue
+		}
+		if P == 1 {
+			k = r.stealHorizon(d0.j, d0, k)
+		} else {
+			k = 2 * r.stealHorizonPair(d0.j, d0, &r.ffDeltas2[i], k/2)
+		}
+		if k <= 0 {
+			return 0
+		}
+	}
+	return k
+}
+
+// stealHorizon shrinks a period-1 window so that every stealing-interval
+// crossing inside it would return Hold. A crossing's verdict depends on
+// the controller state (stolen ways, way floor), the pause input (bus
+// saturation — constant at the fixed point; the table engine's
+// stealReady is constant), and the guard ratio
+// (main−shadow)/shadow. Both counters grow by constant per-epoch
+// deltas, making the ratio after i epochs a Möbius function of i —
+// monotone toward its limit — so "the verdict is Hold at every crossing
+// in [i1, k]" follows from the two endpoints, and the largest safe k is
+// a binary search on the single flip point.
+func (r *Runner) stealHorizon(j *Job, d *jobDelta, k int64) int64 {
+	interval := r.cfg.StealIntervalInstr
+	if interval <= 0 {
+		return 0
+	}
+	// First window epoch (1-based) whose advance crosses an interval
+	// boundary; instrLastSteal < interval is runStealing's invariant.
+	i1 := (interval - j.instrLastSteal + d.instr - 1) / d.instr
+	if i1 > k {
+		return k // no crossings inside the window
+	}
+	c := j.Stealer
+	paused := r.bus.Saturated() || !r.model.stealReady(j)
+	stolen := c.Stolen() > 0
+	floor := c.AtFloor()
+	switch {
+	case !stolen && (paused || floor):
+		// Nothing stolen: no rollback possible; paused or at the floor:
+		// no steal possible. Every crossing Holds regardless of ratio.
+		return k
+	case stolen && !paused && !floor:
+		// Any crossing acts: StealOne below the bound, Rollback at it.
+		return i1 - 1
+	}
+	// Remaining regimes Hold iff the ratio stays on one side of the
+	// slack bound: with ways stolen a ratio at/over the bound rolls
+	// back; with nothing stolen (and steals possible) a ratio under the
+	// bound steals.
+	wantBelow := stolen
+	holdAt := func(i int64) bool {
+		over := steal.ExcessMissRatio(j.MainMisses+i*d.misses, j.ShadowMisses+i*d.shadow) >= c.Slack()
+		if wantBelow {
+			return !over
+		}
+		return over
+	}
+	if !holdAt(i1) {
+		return i1 - 1
+	}
+	if holdAt(k) {
+		return k
+	}
+	lo, hi := i1, k // holdAt(lo) && !holdAt(hi); monotone between
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		if holdAt(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// stealHorizonPair is the period-2 stealing guard: it returns the
+// largest m ≤ mMax such that every interval crossing inside 2m epochs
+// of alternating deltas (d0, d1) provably Holds. Because the crossing
+// epochs depend on the alternation phase, it bounds instead of tracks:
+// no crossing can occur before epoch e1 = ⌈(interval−ls)/max(i0,i1)⌉,
+// and the guard ratio after e epochs is bracketed by the envelope
+// ratios built from the per-parity extremes — main ∈ [e·mLo, e·mHi],
+// shadow ∈ [e·sLo, e·sHi] — each a Möbius function of e and therefore
+// monotone on the evaluated range. Holding on the envelope at every
+// e ∈ [e1, 2m] (a superset of the true crossings) is sufficient; the
+// result is conservative, never unsound.
+func (r *Runner) stealHorizonPair(j *Job, d0, d1 *jobDelta, mMax int64) int64 {
+	interval := r.cfg.StealIntervalInstr
+	if interval <= 0 {
+		return 0
+	}
+	iMax := d0.instr
+	if d1.instr > iMax {
+		iMax = d1.instr
+	}
+	e1 := (interval - j.instrLastSteal + iMax - 1) / iMax
+	if e1 > 2*mMax {
+		return mMax // no crossings inside the window
+	}
+	c := j.Stealer
+	// Saturation is equal across both parities (steadyWindow checked),
+	// so the pause input is constant throughout the window.
+	paused := r.bus.Saturated() || !r.model.stealReady(j)
+	stolen := c.Stolen() > 0
+	floor := c.AtFloor()
+	switch {
+	case !stolen && (paused || floor):
+		return mMax
+	case stolen && !paused && !floor:
+		return (e1 - 1) / 2
+	}
+	mLo, mHi := d0.misses, d0.misses
+	if d1.misses < mLo {
+		mLo = d1.misses
+	} else if d1.misses > mHi {
+		mHi = d1.misses
+	}
+	sLo, sHi := d0.shadow, d0.shadow
+	if d1.shadow < sLo {
+		sLo = d1.shadow
+	} else if d1.shadow > sHi {
+		sHi = d1.shadow
+	}
+	// wantBelow (rollback guard) must hold even at the ratio's upper
+	// envelope (most main misses, fewest shadow misses); wantAbove
+	// (steal guard) even at its lower envelope.
+	wantBelow := stolen
+	holdAt := func(e int64) bool {
+		if wantBelow {
+			return steal.ExcessMissRatio(j.MainMisses+e*mHi, j.ShadowMisses+e*sLo) < c.Slack()
+		}
+		return steal.ExcessMissRatio(j.MainMisses+e*mLo, j.ShadowMisses+e*sHi) >= c.Slack()
+	}
+	if !holdAt(e1) {
+		return (e1 - 1) / 2
+	}
+	if holdAt(2 * mMax) {
+		return mMax
+	}
+	lo, hi := e1, 2*mMax // holdAt(lo) && !holdAt(hi); monotone between
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		if holdAt(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo / 2
+}
+
+// phaseHorizon caps the window (in periods) so the job's matched
+// workload phase — and therefore its MPI scale, CPI, and miss deltas —
+// is the same at every epoch inside it. Epoch starts within m periods
+// sit at t·iSum and t·iSum+extra (t < m; extra=0 collapses to period
+// 1), peaking at (m−1)·iSum+extra. The matched phase index is
+// non-decreasing in progress (each phase's progress ≤ Until eligibility
+// only switches off), so checking the peak covers every start, and the
+// largest still-matching m is a binary search.
+func phaseHorizon(j *Job, iSum, extra, m int64) int64 {
+	idx := phaseIndexAt(j, j.InstrDone)
+	match := func(t int64) bool {
+		return phaseIndexAt(j, j.InstrDone+t*iSum+extra) == idx
+	}
+	if match(m - 1) {
+		return m
+	}
+	if !match(0) {
+		return 0
+	}
+	lo, hi := int64(0), m-1 // period offset t: lo matches, hi does not
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		if match(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo + 1
+}
+
+// phaseIndexAt evaluates Profile.PhaseScale's phase match (the first
+// phase whose Until bound covers the progress fraction; −1 when none)
+// with the exact float arithmetic the model uses.
+func phaseIndexAt(j *Job, done int64) int {
+	progress := float64(done) / float64(j.InstrTotal)
+	for i := range j.Profile.Phases {
+		if progress <= j.Profile.Phases[i].Until {
+			return i
+		}
+	}
+	return -1
+}
+
+// applySteady advances the run by k provably-steady epochs using the
+// deltas the immediately preceding steadyWindow captured. Integer
+// accumulators advance by k·delta (exact); float accumulators replay k
+// identical additions, because IEEE-754 repeated addition is not
+// multiplication and byte-identity with the stepped path is the
+// contract. Per-accumulator operation sequences match the stepped
+// path's exactly; accumulators are independent, so the epoch-major vs
+// job-major interleaving difference is unobservable. For a period-2
+// window (k even) the two parities alternate: float replays interleave
+// the parity addends in stepped order, and the bus folds m windows of
+// each parity's traffic — the second parity last, handing back the
+// cycle's starting utilization.
+func (r *Runner) applySteady(k int64) {
+	E := r.cfg.EpochCycles
+	if r.ffPeriod == 2 {
+		m := k / 2
+		var miss0, wb0, miss1, wb1 int64
+		for i := range r.ffDeltas {
+			d0, d1 := &r.ffDeltas[i], &r.ffDeltas2[i]
+			j := d0.j
+			j.InstrDone += m * (d0.instr + d1.instr)
+			j.ActualCycles += m * (d0.consumed + d1.consumed)
+			j.MainMisses += m * (d0.misses + d1.misses)
+			j.ShadowMisses += m * (d0.shadow + d1.shadow)
+			for t := int64(0); t < m; t++ {
+				j.BaselineCycles += d0.base
+				j.BaselineCycles += d1.base
+			}
+			if j.Stealer != nil && j.State == StateRunning {
+				// Every crossing in the window Held (stealHorizonPair
+				// proved it), so the interval clock just wraps.
+				j.instrLastSteal = (j.instrLastSteal + m*(d0.instr+d1.instr)) % r.cfg.StealIntervalInstr
+			}
+			miss0 += d0.misses
+			wb0 += d0.wb
+			miss1 += d1.misses
+			wb1 += d1.wb
+		}
+		r.bus.FastForward(miss0, wb0, E, m)
+		r.bus.FastForward(miss1, wb1, E, m)
+		for t := int64(0); t < k; t++ {
+			r.frag.idleCores += r.planIdleCores
+			r.frag.idleWays += r.planIdleWays
+			r.frag.internal += r.planInternal
+		}
+		r.now += k * E
+		r.epochIdx += k
+		r.nSkipped += k
+		return
+	}
+	var epochMisses, epochWB int64
+	for i := range r.ffDeltas {
+		d := &r.ffDeltas[i]
+		j := d.j
+		j.InstrDone += k * d.instr
+		j.ActualCycles += k * d.consumed
+		j.MainMisses += k * d.misses
+		j.ShadowMisses += k * d.shadow
+		for t := int64(0); t < k; t++ {
+			j.BaselineCycles += d.base
+		}
+		if j.Stealer != nil && j.State == StateRunning {
+			// Every crossing in the window Held (stealHorizon proved
+			// it), so the interval clock just wraps.
+			j.instrLastSteal = (j.instrLastSteal + k*d.instr) % r.cfg.StealIntervalInstr
+		}
+		epochMisses += d.misses
+		epochWB += d.wb
+	}
+	r.bus.FastForward(epochMisses, epochWB, E, k)
+	for t := int64(0); t < k; t++ {
+		r.frag.idleCores += r.planIdleCores
+		r.frag.idleWays += r.planIdleWays
+		r.frag.internal += r.planInternal
+	}
+	r.now += k * E
+	r.epochIdx += k
+	r.nSkipped += k
+}
+
+// catchUp replays a cluster node from its own clock to the cluster's,
+// preferring closed-form windows and falling back to stepping an epoch
+// whenever steadyWindow cannot prove the next one steady. Either path
+// is the exact legacy epoch sequence, so a node that slept on a stale
+// horizon still replays bit-identically.
+func (r *Runner) catchUp(to int64) {
+	for r.now < to {
+		need := (to - r.now) / r.cfg.EpochCycles
+		if need > ffChunkEpochs {
+			need = ffChunkEpochs
+		}
+		if k := r.steadyWindow(need); k > 0 {
+			r.applySteady(k)
+		} else {
+			r.step()
+		}
+	}
+}
+
+// nextHorizon returns the absolute cycle at which this node next needs
+// to execute an epoch — the cluster calendar key after a step.
+func (r *Runner) nextHorizon() int64 {
+	return r.now + r.steadyWindow(ffChunkEpochs)*r.cfg.EpochCycles
+}

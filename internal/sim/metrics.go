@@ -120,6 +120,13 @@ type Report struct {
 	// Faults is the degradation record when a fault plan was configured
 	// (Faulted reports whether anything actually fired).
 	Faults FaultStats
+
+	// EpochsStepped/EpochsSkipped split the run's epochs between the ones
+	// the engine executed individually and the ones the event-horizon
+	// fast-forward advanced in closed form (DESIGN §11). Their sum is the
+	// run's epoch count, identical with the skip on or off.
+	EpochsStepped int64
+	EpochsSkipped int64
 }
 
 // jobResult materializes one job's outcome row.
@@ -275,6 +282,8 @@ func (r *Runner) report() *Report {
 	}
 	rep.Faults = r.fstats
 	rep.Faults.MissesInFaultWindows += f.faultMisses
+	rep.EpochsStepped = r.nStepped
+	rep.EpochsSkipped = r.nSkipped
 	if r.seriesS != nil {
 		rep.Series = r.seriesS.series
 	}

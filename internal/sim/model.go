@@ -28,6 +28,12 @@ type model interface {
 	// stealing while the shadow array is transiently clamped below the
 	// job's original allocation).
 	stealReady(j *Job) bool
+	// steadyDeltas previews what advance(j, instr) would add to the
+	// job's miss counters and the bus, without mutating anything — the
+	// per-epoch deltas the event-horizon fast-forward multiplies out.
+	// ok is false when the engine cannot predict them (the trace engine
+	// draws from per-job RNG streams, so it never fast-forwards).
+	steadyDeltas(j *Job, instr int64) (misses, shadow, writeBacks int64, ok bool)
 }
 
 // tableModel drives everything from the calibrated miss curves: the
@@ -75,6 +81,21 @@ func (m *tableModel) advance(j *Job, instr int64) (int64, int64) {
 	}
 	// Steady state: dirty evictions track the store fraction of fills.
 	return misses, int64(float64(misses) * workload.WriteFraction)
+}
+
+// steadyDeltas mirrors advance arithmetic exactly, term for term: while
+// the plan holds, phaseScale, mpifCur, and mpiRes are all fixed, so the
+// quantities advance would add are the same every epoch. Any change to
+// advance above must be mirrored here (fastforward_test locks the two
+// together with skip-on/skip-off byte-identity).
+func (m *tableModel) steadyDeltas(j *Job, instr int64) (int64, int64, int64, bool) {
+	scale := phaseScale(j)
+	misses := int64(float64(instr) * j.mpifCur * scale)
+	shadow := misses
+	if j.Stealer != nil {
+		shadow = int64(float64(instr) * j.mpiRes * scale)
+	}
+	return misses, shadow, int64(float64(misses) * workload.WriteFraction), true
 }
 
 // traceModel pushes each job's synthetic address stream through the real
@@ -278,6 +299,13 @@ func (m *traceModel) advance(j *Job, instr int64) (int64, int64) {
 // job's true no-stealing baseline.
 func (m *traceModel) stealReady(j *Job) bool {
 	return j.Core >= 0 && m.frozen[j.Core] == j.WaysReserved
+}
+
+// steadyDeltas: the trace engine's misses come from simulated address
+// streams drawn per epoch, so no closed form exists and the engine
+// never fast-forwards (the skipOK gate also excludes it statically).
+func (m *traceModel) steadyDeltas(*Job, int64) (int64, int64, int64, bool) {
+	return 0, 0, 0, false
 }
 
 // advanceHierarchy retires instr instructions through the full L1+L2

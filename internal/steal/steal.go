@@ -90,6 +90,16 @@ func (c *Controller) Stolen() int { return c.origWays - c.curWays }
 // Counters returns (steal actions, rollbacks) taken so far.
 func (c *Controller) Counters() (steals, rollbacks int) { return c.steals, c.rolls }
 
+// Slack returns the controller's X bound as a fraction.
+func (c *Controller) Slack() float64 { return c.slack }
+
+// AtFloor reports whether the current allocation is at the minimum
+// ways, where OnInterval can no longer steal (it may still roll back if
+// anything is stolen and the bound is hit). The event-horizon
+// fast-forward uses Slack/AtFloor/Stolen to prove that every
+// repartitioning interval inside a skipped window would return Hold.
+func (c *Controller) AtFloor() bool { return c.curWays <= c.minWays }
+
 // ExcessMissRatio is the guard metric: (main − shadow)/shadow, i.e. the
 // relative growth in cumulative misses attributable to stealing. Both
 // counts are cumulative since the Elastic job started (§4.3).
