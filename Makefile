@@ -38,11 +38,13 @@ race:
 # fuzz runs a short smoke of each fuzz target (one package per -fuzz
 # invocation, as the go tool requires): the job-file and fault-plan
 # parsers must never crash on arbitrary input, and the indexed Timeline
-# must stay bit-identical to its naive reference on any op sequence.
+# must stay bit-identical to its naive reference on any op sequence,
+# and the WAL decoder must recover an intact prefix from any bytes.
 fuzz:
 	$(GO) test -fuzz=Fuzz -fuzztime=10s -timeout 5m ./internal/jobfile
 	$(GO) test -fuzz=Fuzz -fuzztime=10s -timeout 5m ./internal/fault
 	$(GO) test -fuzz=FuzzTimelineEquivalence -fuzztime=10s -timeout 5m ./internal/qos
+	$(GO) test -fuzz=FuzzWALReplay -fuzztime=10s -timeout 5m ./internal/qos
 
 # bench runs the hot-path benchmark suite with allocation stats and
 # records the results in BENCH_<date>.json (see scripts/bench.sh).

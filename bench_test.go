@@ -16,6 +16,8 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"net/http/httptest"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -24,6 +26,7 @@ import (
 	"cmpqos/internal/experiments"
 	"cmpqos/internal/jobfile"
 	"cmpqos/internal/qos"
+	"cmpqos/internal/server"
 	"cmpqos/internal/sim"
 	"cmpqos/internal/workload"
 )
@@ -718,5 +721,66 @@ func BenchmarkSimFullHierarchy(b *testing.B) {
 		if _, err := r.Run(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkWALAppend measures the daemon's durability hot path: one
+// length-prefixed, CRC-framed admission record appended to the
+// write-ahead log (sync disabled — this isolates the encode+write cost;
+// with -sync each op adds an fsync, which the device, not the code,
+// dominates).
+func BenchmarkWALAppend(b *testing.B) {
+	w, err := qos.CreateWAL(filepath.Join(b.TempDir(), "wal.log"), false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	rec := qos.WALRecord{
+		Op:      qos.WALAdmit,
+		JobID:   1,
+		Mode:    qos.Strict(),
+		RUM:     qos.RUM{Resources: qos.PresetMedium(), MaxWallClock: 1000, Deadline: 5000},
+		Arrival: 1,
+		Dec:     qos.Decision{Accepted: true, Start: 1, ReservationID: 1},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Seq = int64(i + 1)
+		rec.JobID = i
+		if err := w.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDaemonSubmit measures a full qosd admission round trip over
+// loopback HTTP: submit (opportunistic — no timeline churn between
+// iterations) followed by cancel, both write-ahead logged (sync
+// disabled so the numbers isolate daemon cost from device fsync).
+func BenchmarkDaemonSubmit(b *testing.B) {
+	s, err := server.New(server.Config{Dir: b.TempDir(), NoSync: true, SnapshotEvery: 1 << 30})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := ts.Client()
+	post := func(path string, body string) {
+		resp, err := client.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			b.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := i + 1
+		post("/v1/submit", fmt.Sprintf(`{"job_id": %d, "mode": "opportunistic", "cores": 1, "ways": 2}`, id))
+		post("/v1/cancel", fmt.Sprintf(`{"job_id": %d}`, id))
 	}
 }

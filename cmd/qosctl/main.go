@@ -20,7 +20,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 	"time"
 
 	"cmpqos/internal/cli"
@@ -59,7 +58,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: qosctl [-negotiate] [-clock 2GHz] <jobfile>")
 		os.Exit(cli.ExitUsage)
 	}
-	hz, err := parseClock(*clock)
+	hz, err := cli.ParseClock(*clock)
 	if err != nil {
 		cli.Usage(prog, "%v", err)
 	}
@@ -145,26 +144,6 @@ func main() {
 	if rejected > 0 {
 		os.Exit(cli.ExitRejected)
 	}
-}
-
-func parseClock(s string) (float64, error) {
-	up := strings.ToUpper(strings.TrimSpace(s))
-	mult := 1.0
-	switch {
-	case strings.HasSuffix(up, "GHZ"):
-		mult = 1e9
-		up = strings.TrimSuffix(up, "GHZ")
-	case strings.HasSuffix(up, "MHZ"):
-		mult = 1e6
-		up = strings.TrimSuffix(up, "MHZ")
-	case strings.HasSuffix(up, "HZ"):
-		up = strings.TrimSuffix(up, "HZ")
-	}
-	var f float64
-	if _, err := fmt.Sscanf(up, "%g", &f); err != nil || f <= 0 {
-		return 0, fmt.Errorf("bad clock %q", s)
-	}
-	return f * mult, nil
 }
 
 // runSimulation executes the job file's submissions through the CMP

@@ -1,0 +1,104 @@
+// Command qosd runs the paper's §5 user-level admission controller as a
+// long-lived daemon: submissions arrive over HTTP/JSON, every decision
+// is write-ahead logged and fsynced before the client sees it, and the
+// state directory recovers a kill -9 to the exact pre-crash admission
+// state. Under overload the daemon sheds with 503 instead of queueing
+// without bound, walking the same degradation ladder the simulator uses
+// under faults (scavengers shed first, Strict renegotiated down).
+//
+// Usage:
+//
+//	qosd -addr :8723 -dir /var/lib/qosd -cores 4 -ways 16 -nodes 2
+//
+// SIGINT/SIGTERM drain gracefully: in-flight admissions finish, a final
+// snapshot is persisted, then the listener closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cmpqos/internal/cli"
+	"cmpqos/internal/qos"
+	"cmpqos/internal/server"
+)
+
+const prog = "qosd"
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8723", "listen address")
+		dir       = flag.String("dir", "", "durable state directory (WAL + snapshots); required")
+		cores     = flag.Int("cores", 4, "cores per node (fresh state directories only)")
+		ways      = flag.Int("ways", 16, "L2 ways per node (fresh state directories only)")
+		nodes     = flag.Int("nodes", 1, "CMP nodes fronted by the global admission controller")
+		clock     = flag.String("clock", "2GHz", "node clock for stamping arrivals (e.g. 2GHz)")
+		queue     = flag.Int("queue", 256, "admission queue bound; requests beyond it are shed with 503")
+		wait      = flag.Duration("wait", 100*time.Millisecond, "cap on any request's queue-wait budget")
+		degrade   = flag.Float64("degrade", 0.5, "queue fraction at which the shed ladder starts")
+		maxSlack  = flag.Float64("max-slack", 0.05, "Elastic slack offered on the renegotiation rung")
+		snapEvery = flag.Int("snap-every", 1024, "snapshot and rotate the WAL after this many records")
+		noSync    = flag.Bool("nosync", false, "skip the per-record fsync (benchmarks only: acked admits may be lost to a crash)")
+		downgrade = flag.Bool("autodowngrade", false, "enable §3.4 automatic mode downgrade on the nodes")
+	)
+	flag.Parse()
+	if *dir == "" {
+		cli.Usage(prog, "-dir is required")
+	}
+	hz, err := cli.ParseClock(*clock)
+	if err != nil {
+		cli.Usage(prog, "%v", err)
+	}
+
+	s, err := server.New(server.Config{
+		Dir:           *dir,
+		Capacity:      qos.ResourceVector{Cores: *cores, CacheWays: *ways},
+		Nodes:         *nodes,
+		ClockHz:       hz,
+		NoSync:        *noSync,
+		SnapshotEvery: *snapEvery,
+		MaxInflight:   *queue,
+		DegradeAt:     *degrade,
+		MaxSlack:      *maxSlack,
+		MaxWait:       *wait,
+		AutoDowngrade: *downgrade,
+	})
+	if err != nil {
+		cli.Fail(prog, err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "%s: serving on %s (state: %s)\n", prog, *addr, *dir)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		s.Close()
+		cli.Fail(prog, err)
+	case got := <-sig:
+		fmt.Fprintf(os.Stderr, "%s: %v — draining\n", prog, got)
+	case <-s.Drained():
+		// Drained over HTTP (POST /v1/drain): just stop serving.
+	}
+	drainErr := s.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		cli.Fail(prog, err)
+	}
+	if drainErr != nil {
+		cli.Fail(prog, drainErr)
+	}
+}

@@ -29,6 +29,11 @@ const (
 	// least one job (qosctl only) — distinct from failure so scripts can
 	// tell "the negotiation said no" from "the tool broke".
 	ExitRejected = 3
+	// ExitUnavailable: the target service refused to serve — qosload
+	// reports it when every request was shed or the daemon was
+	// unreachable, distinct from ExitFailure so scripts can tell "the
+	// daemon said not now" from "the tool broke".
+	ExitUnavailable = 4
 )
 
 // Fail prints "prog: err" to stderr and exits with ExitFailure.
@@ -77,6 +82,29 @@ func ParseFaultPlan(val string, seed int64, cores, ways int) (fault.Plan, error)
 		return fault.Plan{}, fmt.Errorf("%s: %w", val, err)
 	}
 	return p, nil
+}
+
+// ParseClock resolves a -clock flag value like "2GHz", "800MHz", or a
+// bare hertz count into a frequency. Shared by qosctl, qosd, and
+// qosload so every command accepts the same spellings.
+func ParseClock(s string) (float64, error) {
+	up := strings.ToUpper(strings.TrimSpace(s))
+	mult := 1.0
+	switch {
+	case strings.HasSuffix(up, "GHZ"):
+		mult = 1e9
+		up = strings.TrimSuffix(up, "GHZ")
+	case strings.HasSuffix(up, "MHZ"):
+		mult = 1e6
+		up = strings.TrimSuffix(up, "MHZ")
+	case strings.HasSuffix(up, "HZ"):
+		up = strings.TrimSuffix(up, "HZ")
+	}
+	var f float64
+	if _, err := fmt.Sscanf(up, "%g", &f); err != nil || f <= 0 {
+		return 0, fmt.Errorf("bad clock %q", s)
+	}
+	return f * mult, nil
 }
 
 // PolicyList renders a registered-policy name list for flag help text.

@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestValidateFieldRules(t *testing.T) {
@@ -206,5 +207,32 @@ func TestEventEnd(t *testing.T) {
 	}
 	if !strings.Contains(Kind(9).String(), "Kind(") {
 		t.Fatal("unknown kind String")
+	}
+}
+
+func TestKillTimes(t *testing.T) {
+	a := KillTimes(7, 5, 10*time.Second)
+	b := KillTimes(7, 5, 10*time.Second)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("KillTimes is not deterministic")
+	}
+	if len(a) != 5 {
+		t.Fatalf("got %d kills, want 5", len(a))
+	}
+	for i, at := range a {
+		if at <= 0 || at >= 10*time.Second {
+			t.Errorf("kill %d at %v outside (0, horizon)", i, at)
+		}
+		// Stratified: one kill per equal slice, so strictly increasing.
+		if i > 0 && at <= a[i-1] {
+			t.Errorf("kill %d at %v not after %v", i, at, a[i-1])
+		}
+		lo := time.Duration(i) * 2 * time.Second
+		if at < lo || at >= lo+2*time.Second {
+			t.Errorf("kill %d at %v escaped its slice [%v, %v)", i, at, lo, lo+2*time.Second)
+		}
+	}
+	if KillTimes(7, 0, time.Second) != nil || KillTimes(7, 3, 0) != nil {
+		t.Fatal("degenerate inputs must yield no kills")
 	}
 }

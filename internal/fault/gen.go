@@ -1,6 +1,9 @@
 package fault
 
-import "math"
+import (
+	"math"
+	"time"
+)
 
 // rng is a splitmix64 generator: tiny, seedable, and independent of
 // math/rand so generated plans can never drift with the standard
@@ -101,6 +104,30 @@ func Generate(seed int64, rate float64, horizon int64, cores, ways int) Plan {
 		}
 		p.Events = append(p.Events, e)
 	}
+}
+
+// KillTimes draws n reproducible kill instants over (0, horizon) for
+// chaos testing long-running processes (qosload -chaos uses it to
+// schedule daemon SIGKILLs). The draws are stratified — one uniform
+// draw per equal slice of the horizon — so kills spread across the
+// whole window instead of clustering, and are returned in increasing
+// order. The same (seed, n, horizon) yields the same schedule
+// everywhere, like Generate.
+func KillTimes(seed int64, n int, horizon time.Duration) []time.Duration {
+	if n <= 0 || horizon <= 0 {
+		return nil
+	}
+	r := rng{state: uint64(seed)*0x9e3779b97f4a7c15 + 0x1d8e4e27c47d124f}
+	slice := float64(horizon) / float64(n)
+	out := make([]time.Duration, 0, n)
+	for i := 0; i < n; i++ {
+		at := time.Duration((float64(i) + r.float64()) * slice)
+		if at <= 0 {
+			at = 1
+		}
+		out = append(out, at)
+	}
+	return out
 }
 
 // admits reports whether adding e keeps the plan valid for the machine.

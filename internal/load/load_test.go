@@ -1,0 +1,119 @@
+package load
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cmpqos/internal/server"
+)
+
+func TestRunAgainstDaemon(t *testing.T) {
+	s, err := server.New(server.Config{Dir: t.TempDir(), NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cases := []Case{
+		{Name: "strict", Mode: "strict", Cores: 1, Ways: 4, TW: 1000, DeadlineIn: 1 << 40},
+		{Name: "opportunistic", Mode: "opportunistic", Cores: 1, Ways: 2},
+	}
+	rep, err := Run(context.Background(), cases, Config{
+		BaseURL: ts.URL, Requests: 60, Concurrency: 4, Cancel: true, Retries: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sent int
+	for _, c := range rep.Cases {
+		sent += c.Sent
+	}
+	if sent != 60 {
+		t.Errorf("sent %d, want 60", sent)
+	}
+	if rep.Admitted == 0 {
+		t.Fatal("nothing admitted against a healthy daemon")
+	}
+	if rep.Admitted != len(rep.Grants) {
+		t.Errorf("%d admitted but %d grants", rep.Admitted, len(rep.Grants))
+	}
+	for _, g := range rep.Grants {
+		if !g.Cancelled {
+			t.Errorf("job %d not cancelled despite Cancel: true", g.JobID)
+		}
+	}
+	// Strict admissions carry reservations and latency percentiles.
+	for _, c := range rep.Cases {
+		if c.Name == "strict" && c.Admitted > 0 && (c.P50 <= 0 || c.P99 < c.P50) {
+			t.Errorf("strict percentiles malformed: p50=%v p99=%v", c.P50, c.P99)
+		}
+	}
+}
+
+// TestRunRetriesShedThenSucceeds pins the retry ladder: 503s are
+// retried with backoff until the daemon answers.
+func TestRunRetriesShedThenSucceeds(t *testing.T) {
+	var attempt atomic.Int64
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if attempt.Add(1) <= 2 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]any{
+			"accepted": true, "node": 0, "mode": "strict", "reservation_id": 1, "seq": 1,
+		})
+	}))
+	defer stub.Close()
+	rep, err := Run(context.Background(), []Case{{Name: "s", Mode: "strict", Cores: 1, Ways: 1, TW: 10, DeadlineIn: 100}},
+		Config{BaseURL: stub.URL, Requests: 1, Concurrency: 1, Retries: 3,
+			BackoffBase: time.Millisecond, BackoffCap: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Admitted != 1 || rep.Shed != 2 || rep.Cases[0].Retries != 2 {
+		t.Fatalf("admitted=%d shed=%d retries=%d, want 1/2/2", rep.Admitted, rep.Shed, rep.Cases[0].Retries)
+	}
+}
+
+func TestRunUnreachableDaemon(t *testing.T) {
+	rep, err := Run(context.Background(), []Case{{Name: "s", Mode: "strict", Cores: 1, Ways: 1, TW: 10, DeadlineIn: 100}},
+		Config{BaseURL: "http://127.0.0.1:1", Requests: 3, Concurrency: 1, Retries: 1,
+			Timeout: 200 * time.Millisecond, BackoffBase: time.Millisecond, BackoffCap: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Admitted != 0 || rep.Rejected != 0 {
+		t.Fatalf("answers from an unreachable daemon: %+v", rep)
+	}
+	if rep.Unavailable < 3 {
+		t.Errorf("unavailable = %d, want >= 3 (one per request)", rep.Unavailable)
+	}
+}
+
+// TestBackoffShape pins the retry-delay contract: capped exponential
+// with jitter in [d/2, d), deterministic per seed.
+func TestBackoffShape(t *testing.T) {
+	cfg := Config{BackoffBase: 4 * time.Millisecond, BackoffCap: 16 * time.Millisecond}
+	r1 := splitmix{state: 42}
+	r2 := splitmix{state: 42}
+	for try := 0; try < 6; try++ {
+		d := cfg.BackoffBase << uint(try)
+		if d > cfg.BackoffCap || d <= 0 {
+			d = cfg.BackoffCap
+		}
+		got := backoff(cfg, try, &r1)
+		if got < d/2 || got >= d {
+			t.Errorf("try %d: backoff %v outside [%v, %v)", try, got, d/2, d)
+		}
+		if got != backoff(cfg, try, &r2) {
+			t.Errorf("try %d: backoff not deterministic per seed", try)
+		}
+	}
+}

@@ -11,7 +11,8 @@ import (
 // durable state; everything else is derived. The wire format is JSON,
 // versioned so future layouts can migrate.
 
-// snapshotVersion is bumped on incompatible layout changes.
+// snapshotVersion is bumped on incompatible layout changes; walVersion
+// (wal.go) plays the same role for the log records between snapshots.
 const snapshotVersion = 1
 
 type lacSnapshot struct {
@@ -54,7 +55,7 @@ func RestoreLAC(r io.Reader, opts ...LACOption) (*LAC, error) {
 		return nil, fmt.Errorf("qos: decoding snapshot: %w", err)
 	}
 	if snap.Version != snapshotVersion {
-		return nil, fmt.Errorf("qos: snapshot version %d, want %d", snap.Version, snapshotVersion)
+		return nil, &VersionError{What: "snapshot", Got: snap.Version, Want: snapshotVersion}
 	}
 	if !snap.Capacity.Valid() || snap.Capacity.IsZero() {
 		return nil, fmt.Errorf("qos: snapshot has invalid capacity %v", snap.Capacity)

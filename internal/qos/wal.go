@@ -1,0 +1,226 @@
+package qos
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+// The write-ahead log complements snapshots (snapshot.go) for a
+// long-running admission daemon: every committed admission decision and
+// cancellation is appended as one framed record, so a crash between
+// snapshots loses nothing that was acknowledged. Recovery loads the
+// last snapshot and replays the records after it; replay re-runs the
+// recorded operation against the restored controllers and verifies the
+// outcome matches what was logged, so silent state divergence is
+// detected instead of compounding.
+//
+// Framing is designed for torn tails: each record is
+//
+//	u32 payload length | u32 CRC32 (IEEE) of payload | payload (JSON)
+//
+// in little-endian, preceded by a one-line versioned file header. A
+// crash mid-append leaves a short or CRC-invalid tail; DecodeWAL stops
+// at the last intact record and reports how many bytes were good so the
+// caller can truncate and keep appending. It never panics on arbitrary
+// bytes (FuzzWALReplay pins this).
+
+// walVersion is bumped on incompatible record-format changes, alongside
+// snapshotVersion.
+const walVersion = 1
+
+// walHeader is the file's first line; the version is parsed back out so
+// a future layout can migrate instead of misparsing.
+var walHeader = fmt.Sprintf("cmpqos-wal v%d\n", walVersion)
+
+// maxWALRecord bounds a single record's payload; anything larger is
+// treated as corruption rather than an allocation request.
+const maxWALRecord = 1 << 26
+
+// VersionError reports a snapshot or WAL written by an incompatible
+// layout version. It is a distinct type so callers can tell "this is
+// our state, from another era" apart from corruption or I/O failure.
+type VersionError struct {
+	What string // "snapshot" or "wal"
+	Got  int
+	Want int
+}
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("qos: %s version %d, want %d", e.What, e.Got, e.Want)
+}
+
+// WALOp names a logged operation.
+type WALOp string
+
+const (
+	// WALAdmit records one decided submission — accepted or rejected —
+	// including the negotiation path taken, so replay reproduces the
+	// controller's counters and reservations exactly.
+	WALAdmit WALOp = "admit"
+	// WALCancel records a job completion/cancellation.
+	WALCancel WALOp = "cancel"
+)
+
+// WALRecord is one logged admission-state transition. Admit records
+// carry the fully resolved request (arrival stamped, negotiation
+// parameters fixed) plus the decision that was made; replay re-runs the
+// same call and verifies the decision matches. Cancel records carry the
+// resolved completion instant.
+type WALRecord struct {
+	Seq int64 `json:"seq"`
+	Op  WALOp `json:"op"`
+
+	JobID int `json:"job"`
+
+	// Admit fields.
+	Mode      Mode     `json:"mode"`
+	RUM       RUM      `json:"rum"`
+	Arrival   int64    `json:"arrival"`
+	Negotiate bool     `json:"negotiate,omitempty"`
+	MaxSlack  float64  `json:"max_slack,omitempty"`
+	Node      int      `json:"node"`
+	FinalMode Mode     `json:"final_mode"`
+	Dec       Decision `json:"dec"`
+
+	// Cancel fields.
+	Now int64 `json:"now,omitempty"`
+}
+
+// WALWriter appends records to a log file. With syncEach set, every
+// append is fsynced before returning, so an acknowledged record
+// survives kill -9; without it, durability is best-effort until Sync.
+type WALWriter struct {
+	f        *os.File
+	syncEach bool
+	buf      []byte
+}
+
+// CreateWAL creates (truncating) a log at path and writes the versioned
+// header.
+func CreateWAL(path string, syncEach bool) (*WALWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.WriteString(walHeader); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if syncEach {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return &WALWriter{f: f, syncEach: syncEach}, nil
+}
+
+// AppendWAL opens an existing log for appending. The caller is expected
+// to have validated (and, after a torn tail, truncated) the file with
+// ReadWAL first.
+func AppendWAL(path string, syncEach bool) (*WALWriter, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &WALWriter{f: f, syncEach: syncEach}, nil
+}
+
+// Append frames and writes one record. The frame is assembled into one
+// buffer and issued as a single write so a crash can only tear the
+// record's tail, never interleave two records.
+func (w *WALWriter) Append(rec WALRecord) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("qos: encoding wal record %d: %w", rec.Seq, err)
+	}
+	need := 8 + len(payload)
+	if cap(w.buf) < need {
+		w.buf = make([]byte, need)
+	}
+	b := w.buf[:need]
+	binary.LittleEndian.PutUint32(b[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(b[4:8], crc32.ChecksumIEEE(payload))
+	copy(b[8:], payload)
+	if _, err := w.f.Write(b); err != nil {
+		return err
+	}
+	if w.syncEach {
+		return w.f.Sync()
+	}
+	return nil
+}
+
+// Sync flushes the log to stable storage.
+func (w *WALWriter) Sync() error { return w.f.Sync() }
+
+// Close syncs and closes the log.
+func (w *WALWriter) Close() error {
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// DecodeWAL parses a log image. It returns the records up to the last
+// intact one and goodSize, the byte offset just past it: a torn or
+// corrupted tail (short frame, bad CRC, malformed JSON) is NOT an error
+// — it is the expected shape of a crash — and simply ends the decode,
+// so recovery resumes from the last good record. A wrong or foreign
+// header is an error: *VersionError for a recognizable cmpqos WAL of
+// another version, a plain error for a file that is not a WAL at all.
+// An image shorter than the header with no records yet (a crash between
+// file creation and the header sync) decodes as an empty log.
+func DecodeWAL(data []byte) (recs []WALRecord, goodSize int64, err error) {
+	if len(data) < len(walHeader) {
+		// A prefix of a valid header is a torn creation; anything else
+		// is not our file.
+		if len(data) == 0 || walHeader[:len(data)] == string(data) {
+			return nil, 0, nil
+		}
+		return nil, 0, fmt.Errorf("qos: not a cmpqos WAL")
+	}
+	var got int
+	if n, serr := fmt.Sscanf(string(data[:len(walHeader)]), "cmpqos-wal v%d\n", &got); n != 1 || serr != nil {
+		return nil, 0, fmt.Errorf("qos: not a cmpqos WAL")
+	}
+	if got != walVersion {
+		return nil, 0, &VersionError{What: "wal", Got: got, Want: walVersion}
+	}
+	off := int64(len(walHeader))
+	for {
+		rest := data[off:]
+		if len(rest) < 8 {
+			return recs, off, nil
+		}
+		n := int64(binary.LittleEndian.Uint32(rest[0:4]))
+		sum := binary.LittleEndian.Uint32(rest[4:8])
+		if n == 0 || n > maxWALRecord || int64(len(rest)) < 8+n {
+			return recs, off, nil
+		}
+		payload := rest[8 : 8+n]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return recs, off, nil
+		}
+		var rec WALRecord
+		if json.Unmarshal(payload, &rec) != nil {
+			return recs, off, nil
+		}
+		recs = append(recs, rec)
+		off += 8 + n
+	}
+}
+
+// ReadWAL decodes the log at path (see DecodeWAL). A missing file is an
+// error the caller can test with os.IsNotExist.
+func ReadWAL(path string) (recs []WALRecord, goodSize int64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	return DecodeWAL(data)
+}

@@ -1,0 +1,488 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"cmpqos/internal/qos"
+)
+
+// The HTTP/JSON surface. All request bodies are small; handlers cap
+// them at 1 MB and answer JSON throughout. Status codes: 200 carries an
+// admission answer (accepted or rejected — a rejection is a valid
+// answer, not a failure), 503 means the daemon refused to answer
+// (overload shed or draining; retryable), 409 a duplicate job id, 404
+// an unknown job, 400 a malformed request.
+
+const maxBody = 1 << 20
+
+// SubmitRequest asks for admission. Times are in cycles at the
+// daemon's clock. Exactly one of Deadline (absolute) or DeadlineIn
+// (relative to arrival, convenient for clients that do not know the
+// daemon's clock) may be set. Arrival 0 lets the daemon stamp its own
+// clock. WaitMS bounds how long the request may queue for an admission
+// slot before being shed (capped by the server's MaxWait).
+type SubmitRequest struct {
+	JobID      int     `json:"job_id"`
+	Mode       string  `json:"mode"` // strict | elastic | opportunistic
+	Slack      float64 `json:"slack,omitempty"`
+	Cores      int     `json:"cores"`
+	Ways       int     `json:"ways"`
+	MemMB      int     `json:"mem_mb,omitempty"`
+	BWMBps     int     `json:"bw_mbps,omitempty"`
+	TW         int64   `json:"tw,omitempty"`
+	Deadline   int64   `json:"deadline,omitempty"`
+	DeadlineIn int64   `json:"deadline_in,omitempty"`
+	Arrival    int64   `json:"arrival,omitempty"`
+	WaitMS     int64   `json:"wait_ms,omitempty"`
+	// Negotiate opts in to the mode ladder: if the requested mode fits
+	// nowhere, the daemon retries with progressively weaker modes
+	// before answering no.
+	Negotiate bool `json:"negotiate,omitempty"`
+}
+
+// SubmitResponse is the admission answer.
+type SubmitResponse struct {
+	Accepted       bool   `json:"accepted"`
+	JobID          int    `json:"job_id"`
+	Node           int    `json:"node"`
+	Mode           string `json:"mode"`
+	Start          int64  `json:"start"`
+	ReservationID  int    `json:"reservation_id,omitempty"`
+	AutoDowngraded bool   `json:"auto_downgraded,omitempty"`
+	SwitchBack     int64  `json:"switch_back,omitempty"`
+	// Degraded reports the daemon renegotiated the mode down under
+	// load-shed pressure (the accepted Mode differs from the asked).
+	Degraded bool   `json:"degraded,omitempty"`
+	Reason   string `json:"reason,omitempty"`
+	Seq      int64  `json:"seq,omitempty"`
+}
+
+// CancelRequest releases a live job's admission (completion or
+// cancellation — the timeline treats both as early reclaim).
+type CancelRequest struct {
+	JobID int   `json:"job_id"`
+	Now   int64 `json:"now,omitempty"`
+}
+
+// CancelResponse acknowledges a cancel.
+type CancelResponse struct {
+	Cancelled bool  `json:"cancelled"`
+	JobID     int   `json:"job_id"`
+	Node      int   `json:"node"`
+	Seq       int64 `json:"seq,omitempty"`
+}
+
+// OfferJSON is one §3.1 counter-proposal, with the node that made it.
+type OfferJSON struct {
+	Node     int    `json:"node"`
+	Kind     string `json:"kind"`
+	Cores    int    `json:"cores"`
+	Ways     int    `json:"ways"`
+	Mode     string `json:"mode"`
+	Start    int64  `json:"start"`
+	Deadline int64  `json:"deadline"`
+}
+
+// ShedResponse is the 503 body: the daemon refused to decide.
+type ShedResponse struct {
+	Shed   bool   `json:"shed"`
+	Reason string `json:"reason"`
+}
+
+// Health is the healthz body.
+type Health struct {
+	Status     string `json:"status"`
+	Draining   bool   `json:"draining"`
+	QueueDepth int    `json:"queue_depth"`
+	QueueCap   int    `json:"queue_cap"`
+	WALSeq     int64  `json:"wal_seq"`
+	Jobs       int    `json:"jobs"`
+	Nodes      int    `json:"nodes"`
+	Submits    int64  `json:"submits"`
+	Accepted   int64  `json:"accepted"`
+	Rejected   int64  `json:"rejected"`
+	Shed       int64  `json:"shed"`
+	Degraded   int64  `json:"degraded"`
+	Cancelled  int64  `json:"cancelled"`
+}
+
+// Handler returns the daemon's HTTP surface.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/submit", s.handleSubmit)
+	mux.HandleFunc("POST /v1/cancel", s.handleCancel)
+	mux.HandleFunc("POST /v1/negotiate", s.handleNegotiate)
+	mux.HandleFunc("GET /v1/snapshot", s.handleSnapshot)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /v1/drain", s.handleDrain)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func shed(w http.ResponseWriter, reason string) {
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusServiceUnavailable, ShedResponse{Shed: true, Reason: reason})
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return false
+	}
+	return true
+}
+
+func parseMode(name string, slack float64) (qos.Mode, error) {
+	switch name {
+	case "", "strict":
+		return qos.Strict(), nil
+	case "elastic":
+		if slack <= 0 || slack > 1 {
+			return qos.Mode{}, fmt.Errorf("elastic mode needs slack in (0,1], got %g", slack)
+		}
+		return qos.Elastic(slack), nil
+	case "opportunistic":
+		return qos.Opportunistic(), nil
+	}
+	return qos.Mode{}, fmt.Errorf("unknown mode %q", name)
+}
+
+// rumFromRequest resolves the request into the qos target, stamping
+// arrival and converting a relative deadline.
+func (s *Server) rumFromRequest(req *SubmitRequest) (qos.RUM, int64, error) {
+	arrival := req.Arrival
+	if arrival == 0 {
+		arrival = s.now()
+	}
+	deadline := req.Deadline
+	if deadline == 0 && req.DeadlineIn > 0 {
+		deadline = arrival + req.DeadlineIn
+	}
+	if req.Deadline != 0 && req.DeadlineIn != 0 {
+		return qos.RUM{}, 0, fmt.Errorf("set deadline or deadline_in, not both")
+	}
+	rum := qos.RUM{
+		Resources: qos.ResourceVector{
+			Cores:         req.Cores,
+			CacheWays:     req.Ways,
+			MemoryMB:      req.MemMB,
+			BandwidthMBps: req.BWMBps,
+		},
+		MaxWallClock: req.TW,
+		Deadline:     deadline,
+	}
+	return rum, arrival, nil
+}
+
+// acquire takes an admission slot within the request's wait budget.
+func (s *Server) acquire(r *http.Request, waitMS int64) bool {
+	wait := s.cfg.MaxWait
+	if waitMS > 0 {
+		if d := time.Duration(waitMS) * time.Millisecond; d < wait {
+			wait = d
+		}
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	default:
+	}
+	t := time.NewTimer(wait)
+	defer t.Stop()
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	case <-t.C:
+		return false
+	case <-r.Context().Done():
+		return false
+	}
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		shed(w, "draining")
+		return
+	}
+	var req SubmitRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	mode, err := parseMode(req.Mode, req.Slack)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	s.nSubmit.Add(1)
+	if !s.acquire(r, req.WaitMS) {
+		s.nShed.Add(1)
+		shed(w, "admission queue full")
+		return
+	}
+	defer func() { <-s.sem }()
+	if hold := s.holdAdmission; hold != nil {
+		hold()
+	}
+
+	// The overload degradation ladder (the daemon-side analog of the
+	// fault pipeline's shed → renegotiate rungs): past the degrade
+	// watermark, scavenger submissions are shed outright and reserving
+	// submissions are forced through the negotiation ladder so they can
+	// land in a weaker mode instead of bouncing.
+	negotiate := req.Negotiate
+	degradeForced := false
+	if depth := len(s.sem); float64(depth) >= s.cfg.DegradeAt*float64(cap(s.sem)) {
+		if mode.Kind == qos.KindOpportunistic {
+			s.nShed.Add(1)
+			shed(w, "load shed: opportunistic work refused under pressure")
+			return
+		}
+		if !negotiate {
+			negotiate = true
+			degradeForced = true
+		}
+	}
+
+	rum, arrival, err := s.rumFromRequest(&req)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+
+	s.mu.Lock()
+	if _, live := s.jobs[req.JobID]; live {
+		s.mu.Unlock()
+		writeJSON(w, http.StatusConflict, map[string]string{
+			"error": fmt.Sprintf("job %d is already admitted", req.JobID)})
+		return
+	}
+	node, finalMode, dec := s.decide(req.JobID, rum, mode, arrival, negotiate, s.cfg.MaxSlack)
+	rec := qos.WALRecord{
+		Op:        qos.WALAdmit,
+		JobID:     req.JobID,
+		Mode:      mode,
+		RUM:       rum,
+		Arrival:   arrival,
+		Negotiate: negotiate,
+		MaxSlack:  s.cfg.MaxSlack,
+		Node:      node,
+		FinalMode: finalMode,
+		Dec:       dec,
+	}
+	if err := s.appendLocked(&rec); err != nil {
+		// The mutation cannot be made durable; roll it back and refuse.
+		if dec.Accepted {
+			s.nodes[node].Complete(req.JobID, finalMode, arrival)
+		}
+		s.mu.Unlock()
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		return
+	}
+	if dec.Accepted {
+		s.jobs[req.JobID] = jobEntry{Node: node, Mode: finalMode, ResID: dec.ReservationID}
+	}
+	s.noteCycle(arrival)
+	s.maybeSnapshotLocked()
+	s.mu.Unlock()
+
+	if dec.Accepted {
+		s.nAccepted.Add(1)
+	} else {
+		s.nRejected.Add(1)
+	}
+	degraded := dec.Accepted && degradeForced && finalMode != mode
+	if degraded {
+		s.nDegraded.Add(1)
+	}
+	writeJSON(w, http.StatusOK, SubmitResponse{
+		Accepted:       dec.Accepted,
+		JobID:          req.JobID,
+		Node:           node,
+		Mode:           modeName(finalMode),
+		Start:          dec.Start,
+		ReservationID:  dec.ReservationID,
+		AutoDowngraded: dec.AutoDowngraded,
+		SwitchBack:     dec.SwitchBack,
+		Degraded:       degraded,
+		Reason:         dec.Reason,
+		Seq:            rec.Seq,
+	})
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	var req CancelRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	// Cancels release resources, so they are admitted even while
+	// draining and do not consume an admission slot.
+	now := req.Now
+	if now == 0 {
+		now = s.now()
+	}
+	s.mu.Lock()
+	e, ok := s.jobs[req.JobID]
+	if !ok {
+		s.mu.Unlock()
+		writeJSON(w, http.StatusNotFound, map[string]string{
+			"error": fmt.Sprintf("job %d is not admitted", req.JobID)})
+		return
+	}
+	rec := qos.WALRecord{Op: qos.WALCancel, JobID: req.JobID, Now: now}
+	if err := s.appendLocked(&rec); err != nil {
+		s.mu.Unlock()
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		return
+	}
+	s.nodes[e.Node].Complete(req.JobID, e.Mode, now)
+	delete(s.jobs, req.JobID)
+	s.noteCycle(now)
+	s.maybeSnapshotLocked()
+	s.mu.Unlock()
+	s.nCancelled.Add(1)
+	writeJSON(w, http.StatusOK, CancelResponse{Cancelled: true, JobID: req.JobID, Node: e.Node, Seq: rec.Seq})
+}
+
+func (s *Server) handleNegotiate(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		shed(w, "draining")
+		return
+	}
+	var req SubmitRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	mode, err := parseMode(req.Mode, req.Slack)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	rum, arrival, err := s.rumFromRequest(&req)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	qreq := qos.Request{JobID: req.JobID, Target: rum, Mode: mode, Arrival: arrival}
+	var offers []OfferJSON
+	s.mu.Lock()
+	for i, lac := range s.nodes {
+		for _, off := range lac.Negotiate(qreq) {
+			offers = append(offers, OfferJSON{
+				Node:     i,
+				Kind:     off.Kind.String(),
+				Cores:    off.Resources.Cores,
+				Ways:     off.Resources.CacheWays,
+				Mode:     modeName(off.Mode),
+				Start:    off.Start,
+				Deadline: off.Deadline,
+			})
+		}
+	}
+	s.mu.Unlock()
+	// Best offer first: fewest-concession kind, then earliest start,
+	// then widest — the qos package's preference order.
+	sort.SliceStable(offers, func(i, j int) bool {
+		if offers[i].Kind != offers[j].Kind {
+			return offerRank(offers[i].Kind) < offerRank(offers[j].Kind)
+		}
+		if offers[i].Start != offers[j].Start {
+			return offers[i].Start < offers[j].Start
+		}
+		return offers[i].Ways > offers[j].Ways
+	})
+	writeJSON(w, http.StatusOK, map[string]any{"offers": offers})
+}
+
+func offerRank(kind string) int {
+	switch kind {
+	case qos.OfferLaterDeadline.String():
+		return 0
+	case qos.OfferFewerWays.String():
+		return 1
+	case qos.OfferOpportunistic.String():
+		return 2
+	}
+	return 3
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	persist := r.URL.Query().Get("persist") != ""
+	s.mu.Lock()
+	if persist {
+		if err := s.persistSnapshotLocked(); err != nil {
+			s.mu.Unlock()
+			writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+			return
+		}
+	}
+	data, err := s.encodeStateLocked()
+	s.mu.Unlock()
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	seq := s.seq
+	jobs := len(s.jobs)
+	s.mu.Unlock()
+	h := Health{
+		Status:     "ok",
+		Draining:   s.draining.Load(),
+		QueueDepth: len(s.sem),
+		QueueCap:   cap(s.sem),
+		WALSeq:     seq,
+		Jobs:       jobs,
+		Nodes:      len(s.nodes),
+		Submits:    s.nSubmit.Load(),
+		Accepted:   s.nAccepted.Load(),
+		Rejected:   s.nRejected.Load(),
+		Shed:       s.nShed.Load(),
+		Degraded:   s.nDegraded.Load(),
+		Cancelled:  s.nCancelled.Load(),
+	}
+	status := http.StatusOK
+	if h.Draining {
+		h.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
+}
+
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	if err := s.beginDrain(); err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		return
+	}
+	s.mu.Lock()
+	seq := s.seq
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"drained": true, "wal_seq": seq})
+}
+
+func modeName(m qos.Mode) string {
+	switch m.Kind {
+	case qos.KindStrict:
+		return "strict"
+	case qos.KindElastic:
+		return "elastic"
+	case qos.KindOpportunistic:
+		return "opportunistic"
+	}
+	return "unknown"
+}
