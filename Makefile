@@ -52,12 +52,19 @@ bench:
 	scripts/bench.sh
 
 # bench-smoke compiles and runs the timeline admission, cluster
-# dispatch, and event-horizon steady-state benches once each
-# (-benchtime=1x): a CI guard that the O(log n) structures, the
-# fast-forward path, and their benchmarks keep building and running —
-# timings are meaningless here.
+# dispatch, event-horizon steady-state, and controller-tick benches
+# once each (-benchtime=1x): a CI guard that the O(log n) structures,
+# the fast-forward path, the control plane, and their benchmarks keep
+# building and running — timings are meaningless here. It also runs
+# the two closed-loop gates: the feedback smoke (pid must not break
+# more promises than static under the same storms) and the -ctrl
+# static golden identity (the nil controller reproduces the open-loop
+# pipeline byte for byte).
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkTimeline|BenchmarkClusterDispatch|BenchmarkSimSteadyState|BenchmarkClusterSteadyFleet' -benchtime=1x -timeout 10m .
+	$(GO) test -run '^$$' -bench 'BenchmarkTimeline|BenchmarkClusterDispatch|BenchmarkSimSteadyState|BenchmarkClusterSteadyFleet|BenchmarkControllerTick' -benchtime=1x -timeout 10m .
+	$(GO) test -run 'TestFeedbackControllerBeatsStatic' -count=1 ./internal/experiments
+	$(GO) test -run 'TestControllerStaticIdentity' -count=1 ./internal/sim
+	$(GO) test -run 'TestRegistryGolden' -count=1 ./internal/experiments
 
 clean:
 	$(GO) clean ./...

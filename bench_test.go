@@ -413,6 +413,35 @@ func BenchmarkSimTableEngine(b *testing.B) {
 	}
 }
 
+// BenchmarkControllerTick prices the closed loop (DESIGN §13): the
+// identical table-engine run with the pid controller retuning every 8
+// epochs, so the delta against a static run of the same config is the
+// control plane's whole overhead — progress sampling, the tick, boost
+// application on every plan rebuild, and the steady windows the tick
+// grid caps. Reports how many retunes one run absorbs.
+func BenchmarkControllerTick(b *testing.B) {
+	var retunes int64
+	for i := 0; i < b.N; i++ {
+		cfg := sim.DefaultConfig(sim.AllStrict, workload.Single("bzip2"))
+		cfg.JobInstr = 10_000_000
+		cfg.StealIntervalInstr = 100_000
+		cfg.EnforceWallClock = true
+		cfg.RequestWays = 6
+		cfg.Controller = "pid"
+		cfg.CtrlIntervalCycles = 8 * cfg.EpochCycles
+		r, err := sim.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := r.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		retunes += rep.CtrlRetunes
+	}
+	b.ReportMetric(float64(retunes)/float64(b.N), "retunes/op")
+}
+
 // BenchmarkSimTableEngineNoPlanCache is the ablation pair of
 // BenchmarkSimTableEngine: the identical simulation with the epoch-plan
 // cache disabled, so the two together report the steady-state win of

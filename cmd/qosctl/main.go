@@ -47,11 +47,15 @@ func main() {
 		sched     = flag.String("sched", "", "with -simulate: core scheduler policy: "+cli.PolicyList(sim.SchedulerNames())+" (empty = policy default)")
 		alloc     = flag.String("alloc", "", "with -simulate: L2 way allocator policy: "+cli.PolicyList(sim.AllocatorNames())+" (empty = policy default)")
 		admit     = flag.String("admit", "", "with -simulate: admission placement policy: "+cli.PolicyList(sim.AdmissionNames())+" (empty = fcfs)")
+		ctrl      = flag.String("ctrl", "", "with -simulate: feedback controller: "+cli.PolicyList(sim.ControllerNames())+" (empty = static)")
 		dispatch  = flag.String("dispatch", "", "GAC placement strategy: bestfit|worstfit|oversub|locality (empty = bestfit)")
 		timeout   = flag.Duration("timeout", 0, "abort the run after this long (e.g. 30s; 0 = no limit)")
 	)
 	flag.Parse()
 	if err := sim.ValidatePolicyNames(*sched, *alloc, *admit); err != nil {
+		cli.Usage(prog, "%v", err)
+	}
+	if err := sim.ValidateControllerName(*ctrl); err != nil {
 		cli.Usage(prog, "%v", err)
 	}
 	if flag.NArg() != 1 {
@@ -78,7 +82,7 @@ func main() {
 			cli.Fail(prog, err)
 		}
 		runSimulation(spec, *instr, *seeds, *parallel, *runCache, !*eventSkip, plan, *timeout,
-			pipelineNames{*sched, *alloc, *admit})
+			pipelineNames{*sched, *alloc, *admit, *ctrl})
 		return
 	}
 
@@ -152,10 +156,10 @@ func main() {
 // same script runs once per seed — the runs are independent and fan out
 // across the worker bound (0 = one per CPU), the qosctl face of the
 // qossim -parallel flag.
-// pipelineNames carries the -sched/-alloc/-admit selections into the
-// simulated configurations.
+// pipelineNames carries the -sched/-alloc/-admit/-ctrl selections into
+// the simulated configurations.
 type pipelineNames struct {
-	scheduler, allocator, admission string
+	scheduler, allocator, admission, controller string
 }
 
 func runSimulation(spec *jobfile.Spec, instr int64, seeds, workers int, useCache, noSkip bool, plan fault.Plan, timeout time.Duration, pipe pipelineNames) {
@@ -181,6 +185,7 @@ func runSimulation(spec *jobfile.Spec, instr int64, seeds, workers int, useCache
 		cfg.Scheduler = pipe.scheduler
 		cfg.Allocator = pipe.allocator
 		cfg.Admission = pipe.admission
+		cfg.Controller = pipe.controller
 		cfg.DisableEventSkip = noSkip
 		cfg.Seed += int64(s)
 		cfgs = append(cfgs, cfg)

@@ -44,7 +44,8 @@ func main() {
 		wait      = flag.Duration("wait", 100*time.Millisecond, "cap on any request's queue-wait budget")
 		degrade   = flag.Float64("degrade", 0.5, "queue fraction at which the shed ladder starts")
 		maxSlack  = flag.Float64("max-slack", 0.05, "Elastic slack offered on the renegotiation rung")
-		snapEvery = flag.Int("snap-every", 1024, "snapshot and rotate the WAL after this many records")
+		snapEvery = flag.Int("snapshot-every", 1024, "snapshot and rotate the WAL after this many records")
+		walMax    = flag.Int64("wal-max-bytes", 0, "also snapshot and rotate once the WAL exceeds this many bytes (0 = no byte bound)")
 		noSync    = flag.Bool("nosync", false, "skip the per-record fsync (benchmarks only: acked admits may be lost to a crash)")
 		downgrade = flag.Bool("autodowngrade", false, "enable §3.4 automatic mode downgrade on the nodes")
 	)
@@ -64,6 +65,7 @@ func main() {
 		ClockHz:       hz,
 		NoSync:        *noSync,
 		SnapshotEvery: *snapEvery,
+		WALMaxBytes:   *walMax,
 		MaxInflight:   *queue,
 		DegradeAt:     *degrade,
 		MaxSlack:      *maxSlack,

@@ -47,6 +47,7 @@ func main() {
 		sched     = flag.String("sched", "", "core scheduler policy: "+cli.PolicyList(sim.SchedulerNames())+" (empty = policy default)")
 		alloc     = flag.String("alloc", "", "L2 way allocator policy: "+cli.PolicyList(sim.AllocatorNames())+" (empty = policy default)")
 		admit     = flag.String("admit", "", "admission placement policy: "+cli.PolicyList(sim.AdmissionNames())+" (empty = fcfs)")
+		ctrl      = flag.String("ctrl", "", "feedback controller: "+cli.PolicyList(sim.ControllerNames())+" (empty = static, the open loop)")
 		nodes     = flag.Int("nodes", 0, "cluster experiment: fleet mode at this node count (0 = legacy 1/2/4 scaling sweep)")
 		jobs      = flag.Int("jobs", 0, "cluster fleet mode: total accepted jobs (0 = 10 per node)")
 		dispatch  = flag.String("dispatch", "", "cluster dispatch policy: "+cli.PolicyList(sim.DispatcherNames())+" (empty = sweep all in fleet mode, bestfit otherwise)")
@@ -59,6 +60,9 @@ func main() {
 		cli.Usage(prog, "%v", err)
 	}
 	if err := sim.ValidateDispatcherName(*dispatch); err != nil {
+		cli.Usage(prog, "%v", err)
+	}
+	if err := sim.ValidateControllerName(*ctrl); err != nil {
 		cli.Usage(prog, "%v", err)
 	}
 
@@ -88,6 +92,7 @@ func main() {
 		Scheduler:        *sched,
 		Allocator:        *alloc,
 		Admission:        *admit,
+		Controller:       *ctrl,
 		ClusterNodes:     *nodes,
 		ClusterJobs:      *jobs,
 		Dispatch:         *dispatch,

@@ -194,6 +194,8 @@ func CSVResult(name string, o Options) (Tabular, error) {
 		return Seeds(o)
 	case "faults":
 		return Faults(o)
+	case "feedback":
+		return Feedback(o)
 	case "geometry":
 		return Geometry(o)
 	case "policies":

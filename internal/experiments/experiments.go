@@ -66,6 +66,10 @@ type Options struct {
 	Scheduler string
 	Allocator string
 	Admission string
+	// Controller selects the feedback controller (sim.ControllerNames)
+	// closing the loop over measured progress; empty keeps the static
+	// open-loop default. The CLIs wire their -ctrl flags here.
+	Controller string
 	// ClusterNodes switches the cluster experiment into fleet mode: a
 	// dispatcher sweep at this node count instead of the legacy 1/2/4-node
 	// scaling table. ClusterJobs is the fleet accept target (0 = 10 jobs
@@ -122,6 +126,7 @@ func (o Options) config(p sim.Policy, w workload.Composition) sim.Config {
 	cfg.Scheduler = o.Scheduler
 	cfg.Allocator = o.Allocator
 	cfg.Admission = o.Admission
+	cfg.Controller = o.Controller
 	return cfg
 }
 
@@ -322,6 +327,14 @@ func Registry() []Runner {
 		}},
 		{"ablation-sampling", "Ablation: shadow-tag set-sampling accuracy (§4.3)", func(o Options, w io.Writer) error {
 			r := AblationSampling(o)
+			r.Render(w)
+			return nil
+		}},
+		{"feedback", "Extension: closed-loop SLO control vs the static pipeline", func(o Options, w io.Writer) error {
+			r, err := Feedback(o)
+			if err != nil {
+				return err
+			}
 			r.Render(w)
 			return nil
 		}},

@@ -17,7 +17,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig8", "fig9", "lac", "related", "cluster", "frag",
 		"sweep-slack", "sweep-pressure", "ablation-interval",
 		"engines", "seeds", "faults", "geometry", "policies",
-		"ablation-partition", "ablation-sampling"}
+		"ablation-partition", "ablation-sampling", "feedback"}
 	for _, name := range want {
 		if _, ok := Lookup(name); !ok {
 			t.Errorf("experiment %q missing from registry", name)
@@ -626,5 +626,39 @@ func TestWriteHTML(t *testing.T) {
 	}
 	if strings.Contains(out, `class="err"`) && strings.Contains(out, "failed:") {
 		t.Error("an experiment failed inside the report")
+	}
+}
+
+// TestFeedbackControllerBeatsStatic is the closed-loop smoke: under the
+// same fault storms and arrival bursts, the pid controller must never
+// break more promises than the open loop it retunes — and it must have
+// actually retuned, while the static rows stay untouched.
+func TestFeedbackControllerBeatsStatic(t *testing.T) {
+	r, err := Feedback(fast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scen := range []string{"fault-storm", "bursty-arrivals"} {
+		static, ok := r.Cell(scen, "static")
+		if !ok {
+			t.Fatalf("%s: missing static cell", scen)
+		}
+		pid, ok := r.Cell(scen, "pid")
+		if !ok {
+			t.Fatalf("%s: missing pid cell", scen)
+		}
+		if static.Retunes != 0 {
+			t.Errorf("%s: static pipeline reports %d retunes", scen, static.Retunes)
+		}
+		if pid.Retunes == 0 {
+			t.Errorf("%s: pid controller never retuned", scen)
+		}
+		if static.GJobs == 0 || static.GJobs != pid.GJobs {
+			t.Errorf("%s: guaranteed-job denominators diverge: static %d, pid %d",
+				scen, static.GJobs, pid.GJobs)
+		}
+		if pv, sv := pid.ViolationRate(), static.ViolationRate(); pv > sv {
+			t.Errorf("%s: pid violation rate %.3f exceeds static %.3f", scen, pv, sv)
+		}
 	}
 }

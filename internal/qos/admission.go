@@ -67,6 +67,14 @@ type LAC struct {
 	oppPerCore    int
 	oppLive       int
 	resByJob      map[int][]int
+	// headroomWays is the admission headroom a feedback controller can
+	// set: extra cache ways a reserved-mode probe must find free on top
+	// of its own demand, a brake on new work when the node is behind on
+	// its promises. Zero (the default) leaves every decision identical
+	// to a headroomless LAC. The committed reservation is always the
+	// request's own vector — headroom inflates only the feasibility
+	// probe, never what the job holds.
+	headroomWays int
 
 	// Modeled controller occupancy (§7.5): the LAC is a user-level
 	// program whose admission tests and scheduling cost cycles
@@ -99,6 +107,20 @@ func NewLAC(capacity ResourceVector, opts ...LACOption) *LAC {
 // Timeline exposes the reservation timeline for diagnostics and trace
 // rendering.
 func (l *LAC) Timeline() *Timeline { return l.timeline }
+
+// SetHeadroom sets the admission headroom in cache ways (clamped to
+// ≥ 0). Feedback controllers raise it to tighten admission while the
+// node under-delivers on its promises and drop it back to zero when
+// the node recovers.
+func (l *LAC) SetHeadroom(ways int) {
+	if ways < 0 {
+		ways = 0
+	}
+	l.headroomWays = ways
+}
+
+// Headroom returns the current admission headroom in cache ways.
+func (l *LAC) Headroom() int { return l.headroomWays }
 
 // charge accrues the modeled controller occupancy for one admission test.
 func (l *LAC) charge() {
@@ -250,6 +272,18 @@ func (l *LAC) reserveSlot(req Request, vec ResourceVector, dur, deadline int64, 
 	if dur == 0 {
 		dur = foreverCycles
 	}
+	// Admission headroom: the feasibility probe asks for extra ways on
+	// top of the demand (capped so a legal request can never exceed the
+	// node's capacity outright), but the reservation made below is the
+	// original vector. With headroom 0 effVec == vec and the decision is
+	// bit-identical to a headroomless LAC.
+	effVec := vec
+	if h := l.headroomWays; h > 0 {
+		if m := l.timeline.Capacity().CacheWays - vec.CacheWays; h > m {
+			h = m
+		}
+		effVec.CacheWays += h
+	}
 	// Devirtualize the default policy: admission probes hit this path
 	// hundreds of times per tw window, and the concrete EarliestFit call
 	// inlines down to Timeline.EarliestFit where the interface dispatch
@@ -257,9 +291,9 @@ func (l *LAC) reserveSlot(req Request, vec ResourceVector, dur, deadline int64, 
 	var start int64
 	var ok bool
 	if _, fcfs := l.place.(EarliestFit); fcfs {
-		start, ok = l.timeline.EarliestFit(vec, req.Arrival, dur, deadline)
+		start, ok = l.timeline.EarliestFit(effVec, req.Arrival, dur, deadline)
 	} else {
-		start, ok = l.place.Place(l.timeline, vec, req.Arrival, dur, deadline)
+		start, ok = l.place.Place(l.timeline, effVec, req.Arrival, dur, deadline)
 	}
 	if !ok {
 		if commit {

@@ -1,0 +1,78 @@
+package qos
+
+import "testing"
+
+// The admission-headroom tests pin the contract the feedback
+// controller relies on: headroom inflates only the feasibility probe
+// (a brake on new admissions while the node is behind on promises),
+// never the committed reservation, and zero headroom is bit-identical
+// to a headroomless LAC.
+
+func TestHeadroomClampsNegative(t *testing.T) {
+	l := NewLAC(nodeCap())
+	l.SetHeadroom(-3)
+	if got := l.Headroom(); got != 0 {
+		t.Errorf("negative headroom clamped to %d, want 0", got)
+	}
+	l.SetHeadroom(5)
+	if got := l.Headroom(); got != 5 {
+		t.Errorf("Headroom() = %d after SetHeadroom(5)", got)
+	}
+}
+
+func TestHeadroomTightensAdmission(t *testing.T) {
+	tw := int64(1000)
+	// One medium job (7 ways) is resident over [0, tw), leaving 9 free
+	// ways. A small job (4 ways) with deadline 1.5·tw can only run
+	// concurrently with it, so the identical request must admit at
+	// headroom 0 (4 ≤ 9 free) and reject at headroom 6 (the probe's
+	// 10 ways exceed the 9 free).
+	fresh := func(h int) *LAC {
+		l := NewLAC(nodeCap())
+		l.SetHeadroom(h)
+		d := l.Admit(Request{JobID: 1, Target: medRUM(0, tw, 3), Mode: Strict(), Arrival: 0})
+		if !d.Accepted {
+			t.Fatalf("setup job rejected at headroom %d: %s", h, d.Reason)
+		}
+		return l
+	}
+	small := RUM{Resources: PresetSmall(), MaxWallClock: tw}
+	small.Deadline = tw + tw/2
+
+	d0 := fresh(0).Admit(Request{JobID: 3, Target: small, Mode: Strict(), Arrival: 0})
+	if !d0.Accepted {
+		t.Fatalf("headroom 0 must behave like a headroomless LAC: %s", d0.Reason)
+	}
+	d6 := fresh(6).Admit(Request{JobID: 3, Target: small, Mode: Strict(), Arrival: 0})
+	if d6.Accepted {
+		t.Error("probe with 6 ways of headroom found a slot a 10-way demand cannot have")
+	}
+}
+
+func TestHeadroomNeverInflatesReservation(t *testing.T) {
+	tw := int64(1000)
+	l := NewLAC(nodeCap())
+	l.SetHeadroom(4)
+	d := l.Admit(Request{JobID: 1, Target: medRUM(0, tw, 3), Mode: Strict(), Arrival: 0})
+	if !d.Accepted {
+		t.Fatal(d.Reason)
+	}
+	use := l.Timeline().UsageAt(d.Start)
+	if want := PresetMedium(); use != want {
+		t.Errorf("committed usage %+v, want the request's own vector %+v", use, want)
+	}
+}
+
+func TestHeadroomCappedAtCapacity(t *testing.T) {
+	// A full-width request is legal; headroom must be capped so the
+	// probe never exceeds capacity outright and reject it spuriously.
+	tw := int64(1000)
+	l := NewLAC(nodeCap())
+	l.SetHeadroom(8)
+	full := RUM{Resources: ResourceVector{Cores: 4, CacheWays: 16}, MaxWallClock: tw}
+	full.Deadline = 3 * tw
+	d := l.Admit(Request{JobID: 1, Target: full, Mode: Strict(), Arrival: 0})
+	if !d.Accepted {
+		t.Errorf("full-capacity request rejected under headroom: %s", d.Reason)
+	}
+}

@@ -96,7 +96,12 @@ type WALWriter struct {
 	f        *os.File
 	syncEach bool
 	buf      []byte
+	size     int64
 }
+
+// Size returns the log's current byte length (header plus every record
+// appended so far) — the compaction trigger for byte-bounded logs.
+func (w *WALWriter) Size() int64 { return w.size }
 
 // CreateWAL creates (truncating) a log at path and writes the versioned
 // header.
@@ -115,7 +120,7 @@ func CreateWAL(path string, syncEach bool) (*WALWriter, error) {
 			return nil, err
 		}
 	}
-	return &WALWriter{f: f, syncEach: syncEach}, nil
+	return &WALWriter{f: f, syncEach: syncEach, size: int64(len(walHeader))}, nil
 }
 
 // AppendWAL opens an existing log for appending. The caller is expected
@@ -126,7 +131,12 @@ func AppendWAL(path string, syncEach bool) (*WALWriter, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &WALWriter{f: f, syncEach: syncEach}, nil
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &WALWriter{f: f, syncEach: syncEach, size: fi.Size()}, nil
 }
 
 // Append frames and writes one record. The frame is assembled into one
@@ -148,6 +158,7 @@ func (w *WALWriter) Append(rec WALRecord) error {
 	if _, err := w.f.Write(b); err != nil {
 		return err
 	}
+	w.size += int64(need)
 	if w.syncEach {
 		return w.f.Sync()
 	}

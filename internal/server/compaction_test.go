@@ -1,0 +1,106 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestWALByteBoundRotation pins the -wal-max-bytes knob: with the
+// record-count bound effectively off, the byte bound alone must force
+// snapshot-and-rotate, keeping the log's size bounded by the cap plus
+// at most the one record that crossed it — and the rotation must not
+// cost crash safety.
+func TestWALByteBoundRotation(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig(dir)
+	cfg.SnapshotEvery = 1 << 20
+	cfg.WALMaxBytes = 2048
+	_, ts := newTestServer(t, cfg)
+	submitN(t, ts.URL, 40, 1)
+
+	if _, err := os.Stat(filepath.Join(dir, "snapshot.json")); err != nil {
+		t.Fatalf("byte bound never rotated the WAL: %v", err)
+	}
+	fi, err := os.Stat(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() >= 2*cfg.WALMaxBytes {
+		t.Errorf("WAL grew to %d bytes under a %d-byte bound", fi.Size(), cfg.WALMaxBytes)
+	}
+
+	// Crash (abandon without drain) and recover: rotation must preserve
+	// the byte-identity contract.
+	before := getBytes(t, ts.URL+"/v1/snapshot")
+	ts.Close()
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer s2.Close()
+	s2.mu.Lock()
+	after, err := s2.encodeStateLocked()
+	s2.mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatalf("recovered state differs from pre-crash state after byte-bound rotations:\npre:  %s\npost: %s",
+			before, after)
+	}
+}
+
+// TestSnapshotAllocView checks the ?alloc=1 wrapper: the durable
+// envelope rides along verbatim (the crash-identity contract compares
+// exactly those bytes), and the derived section reports sane per-node
+// allocation state.
+func TestSnapshotAllocView(t *testing.T) {
+	cfg := testConfig(t.TempDir())
+	_, ts := newTestServer(t, cfg)
+	submitN(t, ts.URL, 12, 1)
+
+	bare := getBytes(t, ts.URL+"/v1/snapshot")
+	var view AllocView
+	if err := json.Unmarshal(getBytes(t, ts.URL+"/v1/snapshot?alloc=1"), &view); err != nil {
+		t.Fatalf("decoding alloc view: %v", err)
+	}
+	// Marshaling the wrapper compacts the embedded RawMessage's
+	// whitespace; the content must survive untouched.
+	var compactBare, compactView bytes.Buffer
+	if err := json.Compact(&compactBare, bare); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Compact(&compactView, view.State); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(compactBare.Bytes(), compactView.Bytes()) {
+		t.Errorf("alloc view state is not the bare snapshot verbatim:\nbare: %s\nview: %s",
+			bare, view.State)
+	}
+	if len(view.Nodes) != cfg.Nodes {
+		t.Fatalf("alloc view has %d nodes, want %d", len(view.Nodes), cfg.Nodes)
+	}
+	if view.Jobs == 0 {
+		t.Error("alloc view reports zero live jobs after admissions")
+	}
+	var reservations int
+	for _, n := range view.Nodes {
+		if n.Cores != cfg.Capacity.Cores || n.Ways != cfg.Capacity.CacheWays {
+			t.Errorf("node %d capacity %d cores/%d ways, want %d/%d",
+				n.Node, n.Cores, n.Ways, cfg.Capacity.Cores, cfg.Capacity.CacheWays)
+		}
+		if n.UsedCores < 0 || n.UsedCores > n.Cores || n.UsedWays < 0 || n.UsedWays > n.Ways {
+			t.Errorf("node %d usage %d cores/%d ways out of range", n.Node, n.UsedCores, n.UsedWays)
+		}
+		if n.Headroom != 0 {
+			t.Errorf("node %d reports headroom %d with no controller attached", n.Node, n.Headroom)
+		}
+		reservations += n.Reservations
+	}
+	if reservations == 0 {
+		t.Error("alloc view reports zero reservations after admissions")
+	}
+}

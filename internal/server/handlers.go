@@ -416,8 +416,35 @@ func offerRank(kind string) int {
 	return 3
 }
 
+// AllocNode is one node's derived allocation state in the ?alloc=1
+// snapshot view: capacity, live reservations, the usage the timeline
+// carries right now, and the admission headroom a feedback controller
+// may have set.
+type AllocNode struct {
+	Node         int `json:"node"`
+	Cores        int `json:"cores"`
+	Ways         int `json:"ways"`
+	Reservations int `json:"reservations"`
+	UsedCores    int `json:"used_cores"`
+	UsedWays     int `json:"used_ways"`
+	Headroom     int `json:"headroom"`
+}
+
+// AllocView is the ?alloc=1 wrapper: the durable envelope verbatim
+// under "state" plus the derived controller/allocation state. The
+// derived section is a pure function of the durable state, so it
+// reproduces identically across a crash.
+type AllocView struct {
+	State json.RawMessage `json:"state"`
+	Now   int64           `json:"now"`
+	Jobs  int             `json:"jobs"`
+	Nodes []AllocNode     `json:"nodes"`
+}
+
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	persist := r.URL.Query().Get("persist") != ""
+	alloc := r.URL.Query().Get("alloc") != ""
+	now := s.now()
 	s.mu.Lock()
 	if persist {
 		if err := s.persistSnapshotLocked(); err != nil {
@@ -427,9 +454,33 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	data, err := s.encodeStateLocked()
+	var view AllocView
+	if err == nil && alloc {
+		view = AllocView{State: data, Now: now, Jobs: len(s.jobs)}
+		for i, lac := range s.nodes {
+			tl := lac.Timeline()
+			cap, use := tl.Capacity(), tl.UsageAt(now)
+			view.Nodes = append(view.Nodes, AllocNode{
+				Node:         i,
+				Cores:        cap.Cores,
+				Ways:         cap.CacheWays,
+				Reservations: len(tl.Reservations()),
+				UsedCores:    use.Cores,
+				UsedWays:     use.CacheWays,
+				Headroom:     lac.Headroom(),
+			})
+		}
+	}
 	s.mu.Unlock()
 	if err != nil {
 		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		return
+	}
+	// The bare body stays byte-identical to the persisted snapshot (the
+	// crash-identity contract compares exactly these bytes); the alloc
+	// view wraps those bytes without re-encoding them.
+	if alloc {
+		writeJSON(w, http.StatusOK, view)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")

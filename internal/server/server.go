@@ -66,6 +66,10 @@ type Config struct {
 	// SnapshotEvery snapshots and rotates the WAL after this many
 	// records.
 	SnapshotEvery int
+	// WALMaxBytes, when positive, also snapshots and rotates once the
+	// log grows past this many bytes — the compaction knob for
+	// deployments whose record sizes vary too much for a count bound.
+	WALMaxBytes int64
 	// MaxInflight bounds the admission queue; requests beyond it shed.
 	MaxInflight int
 	// DegradeAt is the queue fraction at which the shed ladder starts
@@ -351,14 +355,18 @@ func (s *Server) appendLocked(rec *qos.WALRecord) error {
 }
 
 // maybeSnapshotLocked rotates once SnapshotEvery records have
-// accumulated. Callers invoke it only AFTER applying the just-logged
-// record's state change — a snapshot taken between append and apply
-// would claim to cover a record whose effect it is missing, and replay
-// (which skips by sequence number) would silently drop it. Snapshot
-// failures are not fatal to the admission path: the WAL still has
-// everything, and since keeps growing so the next record retries.
+// accumulated, or — with WALMaxBytes set — once the log outgrows its
+// byte bound (the since > 0 guard keeps an oversized header from
+// rotating an empty log forever). Callers invoke it only AFTER applying
+// the just-logged record's state change — a snapshot taken between
+// append and apply would claim to cover a record whose effect it is
+// missing, and replay (which skips by sequence number) would silently
+// drop it. Snapshot failures are not fatal to the admission path: the
+// WAL still has everything, and since keeps growing so the next record
+// retries.
 func (s *Server) maybeSnapshotLocked() {
-	if s.since < s.cfg.SnapshotEvery {
+	if s.since < s.cfg.SnapshotEvery &&
+		!(s.cfg.WALMaxBytes > 0 && s.since > 0 && s.wal.Size() >= s.cfg.WALMaxBytes) {
 		return
 	}
 	_ = s.persistSnapshotLocked()

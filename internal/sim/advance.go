@@ -68,6 +68,7 @@ func (r *Runner) advanceJob(j *Job, shareCycles, sharers, offset int64) {
 		}
 		j.State = StateTerminated
 		j.Core = -1
+		j.ctrlBoost = 0 // finished jobs leave the controller's view
 		r.doneN++
 		r.planOK = false // a termination frees a core and its ways
 		if r.lac != nil {
@@ -87,6 +88,7 @@ func (r *Runner) advanceJob(j *Job, shareCycles, sharers, offset int64) {
 		j.Completed = r.now + wall
 		j.State = StateDone
 		j.Core = -1
+		j.ctrlBoost = 0
 		r.doneN++
 		r.planOK = false // a completion frees a core and its ways
 		if r.lac != nil {

@@ -136,7 +136,10 @@ type ClusterReport struct {
 	// never touch a node and appear in neither counter.
 	EpochsStepped int64
 	EpochsSkipped int64
-	WorstNodes    []NodeDigest
+	// CtrlRetunes sums the per-node feedback-controller ticks (zero for
+	// the open-loop "static" default).
+	CtrlRetunes int64
+	WorstNodes  []NodeDigest
 }
 
 // ClusterRunner simulates the GAC-fronted multi-node environment. The
@@ -527,6 +530,7 @@ func (cr *ClusterRunner) report() *ClusterReport {
 		rep.LACProbes += nr.LACProbes
 		rep.EpochsStepped += nr.EpochsStepped
 		rep.EpochsSkipped += nr.EpochsSkipped
+		rep.CtrlRetunes += nr.CtrlRetunes
 		hits += nr.GuaranteedHits
 		den += nr.GuaranteedJobs
 		if cr.cfg.TopK > 0 {

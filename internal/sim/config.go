@@ -209,6 +209,20 @@ type Config struct {
 	Scheduler string
 	Allocator string
 	Admission string
+	// Controller selects the registered feedback controller that closes
+	// the loop between measured progress and the allocation/admission
+	// knobs (progress.go): "static" (the default) is the open-loop
+	// pipeline, bit-identical to the pre-controller engine; "pid" and
+	// "aimd" retune per-job way boosts and LAC admission headroom on the
+	// controller cadence. A plain Config field, so the choice
+	// participates in the RunCache memo key automatically.
+	Controller string
+	// CtrlIntervalCycles is the controller tick cadence in cycles
+	// (0 = 64 epochs). Ticks are QoS events: the event-horizon
+	// fast-forward caps every steady window at the next tick while a
+	// controller is active, so the cadence bounds how much skipping a
+	// closed-loop run can do.
+	CtrlIntervalCycles int64
 	// DisablePlanCache forces the engine to rebuild the epoch plan
 	// (core/way assignment) every epoch instead of reusing it between QoS
 	// events. Results are bit-identical either way — the cache only skips
@@ -369,6 +383,12 @@ func (c Config) Validate() error {
 	}
 	if _, ok := admissions[c.admissionName()]; !ok {
 		return fmt.Errorf("sim: unknown admission policy %q (have %v)", c.admissionName(), AdmissionNames())
+	}
+	if _, ok := controllers[c.controllerName()]; !ok {
+		return fmt.Errorf("sim: unknown controller %q (have %v)", c.controllerName(), ControllerNames())
+	}
+	if c.CtrlIntervalCycles < 0 {
+		return fmt.Errorf("sim: negative controller interval")
 	}
 	for _, j := range c.Workload.Jobs {
 		if _, ok := workload.ByName(j.Benchmark); !ok {

@@ -116,13 +116,16 @@ func (cr *ClusterRunner) arrivalShape(a Arrival) (mode qos.Mode, dur, cutoff int
 
 // indexable reports whether the lazy lower-bound index is sound for
 // this cluster: automatic downgrade and the "latest" admission policy
-// place via LatestFit (not monotone under admissions) and fault plans
+// place via LatestFit (not monotone under admissions), fault plans
 // evict reservations mid-epoch (which pulls starts earlier without a
-// completion to observe), so all three fall back to exhaustive probing.
+// completion to observe), and a feedback controller retunes admission
+// headroom (dropping it pulls starts earlier the same way), so all
+// four fall back to exhaustive probing.
 func (cr *ClusterRunner) indexable() bool {
 	return cr.cfg.Node.Policy != AllStrictAutoDown &&
 		cr.cfg.Node.admissionName() == "fcfs" &&
-		cr.cfg.Node.Faults.Empty()
+		cr.cfg.Node.Faults.Empty() &&
+		cr.cfg.Node.controllerName() == "static"
 }
 
 // --- probeall: the historical GAC loop ---------------------------------

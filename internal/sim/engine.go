@@ -86,6 +86,16 @@ type Runner struct {
 	ffDefer   int64 // steps left before the next window proof attempt
 	ffPriced  bool  // last attempt reached the O(jobs) delta pricing
 
+	// Closed-loop control plane (progress.go): the registered feedback
+	// controller (nil = "static", the open-loop default), its tick
+	// cadence in cycles, the reusable sample scratch, and the tick
+	// counter the Report exposes as CtrlRetunes.
+	ctrl         Controller
+	ctrlInterval int64
+	ctrlSamples  []ProgressSample
+	ctrlGrants   []ctrlGrant
+	ctrlTicks    int64
+
 	// Admission scratch: one reusable RUM passed by pointer so the ~400
 	// probes per tw window don't each box a fresh value into the Request
 	// interface (the LAC copies what it needs and never retains the
@@ -156,6 +166,13 @@ func New(cfg Config) (*Runner, error) {
 	admission, err := newAdmission(cfg)
 	if err != nil {
 		return nil, err
+	}
+	if r.ctrl, err = newController(cfg); err != nil {
+		return nil, err
+	}
+	r.ctrlInterval = cfg.CtrlIntervalCycles
+	if r.ctrlInterval == 0 {
+		r.ctrlInterval = ctrlDefaultIntervalEpochs * cfg.EpochCycles
 	}
 	for h := workload.ModeHint(0); h < workload.NumModeHints; h++ {
 		r.modeByHint[h] = cfg.ModeForHint(h)
@@ -302,6 +319,13 @@ func (r *Runner) step() {
 	if !r.external {
 		r.processArrivals(epochEnd)
 	}
+	if r.ctrl != nil && r.liveCount() > 0 && r.ctrlDue(epochEnd) {
+		// A controller tick lands inside this epoch: retune before the
+		// plan is (re)built. The fast-forward never skips across a tick
+		// (steadyAttempt caps the window), so stepped and skipped runs
+		// observe identical tick sequences.
+		r.ctrlTick()
+	}
 	byCore := r.sc.byCore
 	switch {
 	case r.planOK && r.now < r.planWake && !r.planWaysDirty:
@@ -311,6 +335,7 @@ func (r *Runner) step() {
 		// state and core placement untouched: redo only the way split on
 		// the cached core assignment.
 		r.wayAlloc.Allocate(r, byCore)
+		r.applyCtrlBoosts(byCore)
 		r.planWaysDirty = false
 		r.buildPlan(byCore)
 	default:
@@ -318,6 +343,7 @@ func (r *Runner) step() {
 		r.switchBacks()
 		byCore = r.sched.Assign(r)
 		r.wayAlloc.Allocate(r, byCore)
+		r.applyCtrlBoosts(byCore)
 		r.planWaysDirty = false
 		r.buildPlan(byCore)
 	}

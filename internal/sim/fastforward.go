@@ -212,6 +212,15 @@ func (r *Runner) steadyAttempt(maxK int64) int64 {
 			}
 		}
 	}
+	if r.ctrl != nil && r.liveCount() > 0 {
+		// Controller ticks are QoS events: the window must close before
+		// the epoch containing the next tick, so the tick executes on the
+		// stepped path with exactly the state a fully stepped run would
+		// have. (Idle stretches are exempt — step would not tick either.)
+		if kc := (r.nextCtrlTickAt(N) - N) / E; kc < k {
+			k = kc
+		}
+	}
 	if k <= 0 {
 		return 0
 	}

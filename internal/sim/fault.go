@@ -243,6 +243,14 @@ func (r *Runner) readmit(j *Job) {
 	if maxWays < 1 {
 		maxWays = 1
 	}
+	// Admission headroom is a brake on new work, not on rescue: suspend
+	// it for the refit ladder, or a controller tightening admission
+	// during a storm would turn renegotiations into violations.
+	if r.lac.Headroom() > 0 {
+		saved := r.lac.Headroom()
+		r.lac.SetHeadroom(0)
+		defer r.lac.SetHeadroom(saved)
+	}
 	dec, ways, tw := r.negotiate(j, maxWays)
 	if !dec.Accepted {
 		r.violate(j)
@@ -295,8 +303,16 @@ func (r *Runner) violate(j *Job) {
 	j.State = StateTerminated
 	j.Completed = r.now
 	j.Core = -1
+	j.ctrlBoost = 0
 	r.doneN++
 	r.lac.Complete(j.ID, j.Mode, r.now)
+	if r.fold != nil {
+		// Stream the outcome like every other finished job: without this
+		// fold, FoldCompleted compaction dropped fault violations from
+		// the per-node aggregates, and the cluster fleet table's
+		// violation counts under-reported storms.
+		r.foldJob(j)
+	}
 }
 
 // shedElastic sheds reservation ways from running Elastic jobs until the

@@ -71,6 +71,11 @@ type Job struct {
 	// Resource allocation.
 	WaysReserved int     // the RUM request (0 for opportunistic)
 	WaysF        float64 // effective ways this epoch (fractional for shared pools)
+	// ctrlBoost is the feedback controller's standing way grant on top
+	// of the negotiated envelope, satisfied from the epoch's idle way
+	// pool (applyCtrlBoosts). Always ≥ 0: the controller can only add
+	// ways above the reservation, never shrink below it.
+	ctrlBoost int
 
 	// Automatic downgrade state (§3.4).
 	AutoDowngraded bool
@@ -130,6 +135,20 @@ func (j *Job) setWaysF(w float64) {
 // SetWays is the exported allocation setter for WayAllocator
 // implementations registered from outside this package.
 func (j *Job) SetWays(w float64) { j.setWaysF(w) }
+
+// SetCtrlBoost sets the controller's standing way grant for this job
+// (clamped to ≥ 0 — boosts only ever add ways above the negotiated
+// envelope). Controllers call it from Tick; the grant applies from the
+// next way split until retuned or the job finishes.
+func (j *Job) SetCtrlBoost(ways int) {
+	if ways < 0 {
+		ways = 0
+	}
+	j.ctrlBoost = ways
+}
+
+// CtrlBoost returns the controller's current way grant for this job.
+func (j *Job) CtrlBoost() int { return j.ctrlBoost }
 
 // ReservedRunning reports whether the job currently executes with
 // reserved resources (Strict/Elastic, or an auto-downgraded job after

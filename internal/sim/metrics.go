@@ -127,6 +127,11 @@ type Report struct {
 	// run's epoch count, identical with the skip on or off.
 	EpochsStepped int64
 	EpochsSkipped int64
+
+	// CtrlRetunes counts feedback-controller ticks (zero for the
+	// open-loop "static" default). Identical with event-skip on or off:
+	// ticks are QoS events the fast-forward never skips across.
+	CtrlRetunes int64
 }
 
 // jobResult materializes one job's outcome row.
@@ -284,6 +289,7 @@ func (r *Runner) report() *Report {
 	rep.Faults.MissesInFaultWindows += f.faultMisses
 	rep.EpochsStepped = r.nStepped
 	rep.EpochsSkipped = r.nSkipped
+	rep.CtrlRetunes = r.ctrlTicks
 	if r.seriesS != nil {
 		rep.Series = r.seriesS.series
 	}

@@ -1,0 +1,266 @@
+package sim
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+
+	"cmpqos/internal/fault"
+	"cmpqos/internal/steal"
+	"cmpqos/internal/workload"
+)
+
+// ctrlStormCfg mirrors the feedback experiment at test scale: an
+// all-Strict pipeline with wall-clock enforcement, a way request that
+// leaves the controller an idle pool to grant from, a tight controller
+// cadence, and a deterministic fault storm.
+func ctrlStormCfg(ctrl string) Config {
+	cfg := planCacheCfg(AllStrict, "bzip2")
+	cfg.EnforceWallClock = true
+	cfg.RequestWays = 6
+	cfg.Controller = ctrl
+	cfg.CtrlIntervalCycles = 4 * cfg.EpochCycles
+	horizon := int64(100_000_000)
+	cfg.Faults = fault.Generate(7, 50/(float64(horizon)/1e9), horizon, cfg.Cores, cfg.L2.Ways)
+	return cfg
+}
+
+// ctrlBurstCfg is the scripted bursty-arrival counterpart: waves of
+// Strict jobs landing together so the controller sees contention ramp
+// up and drain between waves.
+func ctrlBurstCfg(ctrl string) Config {
+	cfg := DefaultConfig(AllStrict, workload.Composition{Name: "ctrl-burst"})
+	cfg.JobInstr = 10_000_000
+	cfg.StealIntervalInstr = 100_000
+	cfg.EnforceWallClock = true
+	cfg.RequestWays = 6
+	cfg.Controller = ctrl
+	cfg.CtrlIntervalCycles = 4 * cfg.EpochCycles
+	for wave := int64(0); wave < 3; wave++ {
+		for j := int64(0); j < 4; j++ {
+			cfg.Script = append(cfg.Script, ScriptedJob{
+				Template:       workload.JobTemplate{Benchmark: "bzip2"},
+				Arrival:        wave*2*cfg.JobInstr + j*cfg.EpochCycles,
+				DeadlineFactor: 4,
+			})
+		}
+	}
+	return cfg
+}
+
+// TestControllerStaticIdentity pins the control plane's zero-cost
+// default: Controller "static" (and its spelled-out alias) is the nil
+// controller, so the run is byte-for-byte the open-loop pipeline —
+// same report JSON, same event trace, zero retunes — with and without
+// a fault plan in play.
+func TestControllerStaticIdentity(t *testing.T) {
+	base := planCacheCfg(Hybrid2, "bzip2")
+	faulty := base
+	faulty.Faults = fault.Generate(3, 40, 100_000_000, base.Cores, base.L2.Ways)
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"clean", base},
+		{"under-faults", faulty},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			implicit := tc.cfg
+			implicit.Controller = ""
+			explicit := tc.cfg
+			explicit.Controller = "static"
+			aJSON, aEvents, aRep := runWithEventSkip(t, implicit, false)
+			bJSON, bEvents, bRep := runWithEventSkip(t, explicit, false)
+			if !bytes.Equal(aJSON, bJSON) {
+				t.Errorf("-ctrl static is not byte-identical to the default pipeline\ndefault: %s\nstatic:  %s",
+					aJSON, bJSON)
+			}
+			if !reflect.DeepEqual(aEvents, bEvents) {
+				t.Errorf("event traces differ: %d events default vs %d static",
+					len(aEvents), len(bEvents))
+			}
+			if aRep.CtrlRetunes != 0 || bRep.CtrlRetunes != 0 {
+				t.Errorf("static pipeline reports retunes: default %d, static %d",
+					aRep.CtrlRetunes, bRep.CtrlRetunes)
+			}
+		})
+	}
+}
+
+// TestControllerSkipByteIdentity extends the event-skip identity to
+// closed-loop runs: controller ticks are QoS events, the fast-forward
+// caps every steady window at the next tick, so a pid/aimd run is
+// byte-identical with the skip on and off — and the identity is only
+// meaningful if the controller actually retuned and the skip actually
+// engaged, which both runs must agree on.
+func TestControllerSkipByteIdentity(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"pid-fault-storm", ctrlStormCfg("pid")},
+		{"aimd-fault-storm", ctrlStormCfg("aimd")},
+		{"pid-bursty-arrivals", ctrlBurstCfg("pid")},
+		{"aimd-bursty-arrivals", ctrlBurstCfg("aimd")},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			onJSON, onEvents, onRep := runWithEventSkip(t, tc.cfg, false)
+			offJSON, offEvents, offRep := runWithEventSkip(t, tc.cfg, true)
+			if !bytes.Equal(onJSON, offJSON) {
+				t.Errorf("report JSON differs between event skip on and off\non:  %s\noff: %s",
+					onJSON, offJSON)
+			}
+			if !reflect.DeepEqual(onEvents, offEvents) {
+				t.Errorf("event traces differ: %d events with skip vs %d without",
+					len(onEvents), len(offEvents))
+			}
+			if got, want := onRep.EpochsStepped+onRep.EpochsSkipped,
+				offRep.EpochsStepped+offRep.EpochsSkipped; got != want {
+				t.Errorf("epoch count %d with skip != %d without", got, want)
+			}
+			if onRep.CtrlRetunes == 0 {
+				t.Errorf("controller never ticked (stepped %d epochs); the identity proves nothing",
+					onRep.EpochsStepped)
+			}
+			if onRep.CtrlRetunes != offRep.CtrlRetunes {
+				t.Errorf("retune count %d with skip != %d without",
+					onRep.CtrlRetunes, offRep.CtrlRetunes)
+			}
+			if onRep.EpochsSkipped == 0 {
+				t.Errorf("fast-forward never engaged under the controller cadence")
+			}
+		})
+	}
+}
+
+// TestFoldViolationAccounting is the regression test for the fleet
+// table bug: with FoldCompleted compaction, jobs terminated by a fault
+// violation bypass the completion path, and before the fix they were
+// never folded — so violation counts (and the guaranteed-job
+// denominators) silently vanished from compacted windows. The fold-on
+// run must agree with batch mode on every scalar aggregate.
+func TestFoldViolationAccounting(t *testing.T) {
+	cfg := planCacheCfg(AllStrict, "bzip2")
+	cfg.RequestWays = 8
+	// A deep dark-way window while two 8-way Strict jobs run: at most
+	// one can refit, the other is violated.
+	cfg.Faults = fault.Plan{Events: []fault.Event{
+		{Kind: fault.WayFault, At: 20 * cfg.EpochCycles, Ways: 12, Duration: 400 * cfg.EpochCycles},
+	}}
+	batch := mustRun(t, cfg)
+	if batch.Faults.Violations == 0 {
+		t.Fatal("fault plan produced no violations; the regression test needs at least one")
+	}
+	folded := cfg
+	folded.FoldCompleted = true
+	fr := mustRun(t, folded)
+	type agg struct {
+		accepted, terminated            int
+		gHits, gJobs, dHits, dJobs      int
+		violations                      int
+		totalCycles, cpuCycles, retunes int64
+	}
+	get := func(r *Report) agg {
+		return agg{
+			accepted: r.AcceptedJobs, terminated: r.Terminated,
+			gHits: r.GuaranteedHits, gJobs: r.GuaranteedJobs,
+			dHits: r.DeadlineHits, dJobs: r.DeadlineJobs,
+			violations:  r.Faults.Violations,
+			totalCycles: r.TotalCycles, cpuCycles: r.CPUCycles,
+			retunes: r.CtrlRetunes,
+		}
+	}
+	if b, f := get(batch), get(fr); b != f {
+		t.Errorf("FoldCompleted aggregates diverge from batch mode\nbatch: %+v\nfold:  %+v", b, f)
+	}
+}
+
+// TestShadowSlowdownUnderDarkWays drives the runner epoch by epoch
+// past a permanent dark-way fault and reads the progress-signal layer
+// directly: every sample must be well-formed (positive measured ratio,
+// finite non-negative slowdown), and with half the cache dark the
+// shadow tags must actually measure excess misses on at least one
+// sampled job — the signal the feedback controller steers on.
+func TestShadowSlowdownUnderDarkWays(t *testing.T) {
+	cfg := fastConfig(Hybrid2, workload.Single("bzip2"))
+	cfg.DisableEventSkip = true
+	faultAt := 20 * cfg.EpochCycles
+	cfg.Faults = fault.Plan{Events: []fault.Event{
+		{Kind: fault.WayFault, At: faultAt, Ways: cfg.L2.Ways / 2},
+	}}
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sampled int
+	var maxSlow float64
+	for i := 0; i < 2000 && !r.done(); i++ {
+		r.step()
+		if r.now <= faultAt {
+			continue
+		}
+		for _, s := range r.progressSamples() {
+			sampled++
+			if s.Job == nil {
+				t.Fatal("sample without a job")
+			}
+			if !s.Job.ReservedRunning(r.now) {
+				t.Errorf("job %d sampled while not reserved-running", s.Job.ID)
+			}
+			if s.Ratio <= 0 || math.IsNaN(s.Ratio) || math.IsInf(s.Ratio, 0) {
+				t.Errorf("job %d: malformed progress ratio %v", s.Job.ID, s.Ratio)
+			}
+			if s.Slowdown < 0 || math.IsNaN(s.Slowdown) || math.IsInf(s.Slowdown, 0) {
+				t.Errorf("job %d: malformed shadow slowdown %v", s.Job.ID, s.Slowdown)
+			}
+			if s.Slowdown > maxSlow {
+				maxSlow = s.Slowdown
+			}
+		}
+	}
+	if sampled == 0 {
+		t.Fatal("no progress samples taken after the dark-way fault")
+	}
+	if maxSlow == 0 {
+		t.Errorf("shadow tags measured zero slowdown across %d samples with %d of %d ways dark",
+			sampled, cfg.L2.Ways/2, cfg.L2.Ways)
+	}
+}
+
+// TestMeasuredSlowdownMonotoneInWays is the differential check behind
+// the progress signal: for every calibrated workload, misses per
+// instruction never drop when ways shrink, so the measured slowdown —
+// main misses at the squeezed allocation against shadow misses at the
+// reservation — is monotone non-decreasing as the allocation shrinks.
+// A non-monotone curve would make the controller chase noise.
+func TestMeasuredSlowdownMonotoneInWays(t *testing.T) {
+	const instr = 100_000_000
+	for _, p := range workload.Profiles() {
+		wRes := 8
+		shadow := int64(p.MPI(wRes) * instr)
+		if shadow <= 0 {
+			t.Fatalf("%s: no shadow misses at %d ways", p.Name, wRes)
+		}
+		prevMPI := math.Inf(1)
+		prevSlow := math.Inf(1)
+		for w := 1; w <= 16; w++ {
+			if mpi := p.MPI(w); mpi > prevMPI {
+				t.Errorf("%s: MPI rises from %g to %g as ways grow %d -> %d",
+					p.Name, prevMPI, mpi, w-1, w)
+			} else {
+				prevMPI = mpi
+			}
+			if w > wRes {
+				continue
+			}
+			slow := steal.ExcessMissRatio(int64(p.MPI(w)*instr), shadow)
+			if slow > prevSlow {
+				t.Errorf("%s: measured slowdown rises from %g to %g as ways grow %d -> %d",
+					p.Name, prevSlow, slow, w-1, w)
+			}
+			prevSlow = slow
+		}
+	}
+}

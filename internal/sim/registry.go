@@ -39,9 +39,10 @@ type WayAllocator interface {
 }
 
 var (
-	schedulers = map[string]func(Config) Scheduler{}
-	allocators = map[string]func(Config) WayAllocator{}
-	admissions = map[string]func(Config) qos.AdmissionPolicy{}
+	schedulers  = map[string]func(Config) Scheduler{}
+	allocators  = map[string]func(Config) WayAllocator{}
+	admissions  = map[string]func(Config) qos.AdmissionPolicy{}
+	controllers = map[string]func(Config) Controller{}
 )
 
 // RegisterScheduler registers a named core-assignment policy. It panics
@@ -58,6 +59,14 @@ func RegisterAllocator(name string, build func(Config) WayAllocator) {
 // RegisterAdmission registers a named admission placement policy.
 func RegisterAdmission(name string, build func(Config) qos.AdmissionPolicy) {
 	registerPolicy(admissions, "admission", name, build)
+}
+
+// RegisterController registers a named feedback controller (the SLO
+// control plane of progress.go). A constructor may return nil to mean
+// "no controller" — the open-loop engine, which is what the default
+// "static" name does.
+func RegisterController(name string, build func(Config) Controller) {
+	registerPolicy(controllers, "controller", name, build)
 }
 
 func registerPolicy[C, T any](m map[string]func(C) T, kind, name string, build func(C) T) {
@@ -78,6 +87,9 @@ func AllocatorNames() []string { return policyNames(allocators) }
 
 // AdmissionNames lists the registered admission policies, sorted.
 func AdmissionNames() []string { return policyNames(admissions) }
+
+// ControllerNames lists the registered feedback controllers, sorted.
+func ControllerNames() []string { return policyNames(controllers) }
 
 func policyNames[C, T any](m map[string]func(C) T) []string {
 	names := make([]string, 0, len(m))
@@ -125,6 +137,15 @@ func (c Config) admissionName() string {
 	return "fcfs"
 }
 
+// controllerName resolves the configured feedback controller; the
+// default "static" is the open-loop pipeline.
+func (c Config) controllerName() string {
+	if c.Controller != "" {
+		return c.Controller
+	}
+	return "static"
+}
+
 // newScheduler builds the configuration's scheduler.
 func newScheduler(cfg Config) (Scheduler, error) {
 	build, ok := schedulers[cfg.schedulerName()]
@@ -152,11 +173,32 @@ func newAdmission(cfg Config) (qos.AdmissionPolicy, error) {
 	return build(cfg), nil
 }
 
+// newController builds the configuration's feedback controller (nil
+// for the open-loop "static" default).
+func newController(cfg Config) (Controller, error) {
+	build, ok := controllers[cfg.controllerName()]
+	if !ok {
+		return nil, fmt.Errorf("sim: unknown controller %q (have %v)", cfg.controllerName(), ControllerNames())
+	}
+	return build(cfg), nil
+}
+
 // PipelineNames returns the resolved (scheduler, allocator, admission)
 // names this configuration will run — the policy triple the run-cache
 // key and reports identify a run by.
 func (c Config) PipelineNames() (scheduler, allocator, admission string) {
 	return c.schedulerName(), c.allocatorName(), c.admissionName()
+}
+
+// ValidateControllerName checks an explicitly selected controller name
+// against the registry (empty selects the "static" default and is
+// always valid) — the CLI flag-parse counterpart of
+// ValidateDispatcherName.
+func ValidateControllerName(name string) error {
+	if _, ok := controllers[name]; name != "" && !ok {
+		return fmt.Errorf("unknown controller %q (have %v)", name, ControllerNames())
+	}
+	return nil
 }
 
 // ValidatePolicyNames checks explicitly selected pipeline names against

@@ -12,7 +12,7 @@ cd "$(dirname "$0")/.."
 
 date="$(date +%F)"
 out="BENCH_${date}.json"
-benches='BenchmarkFig5$|BenchmarkSimTableEngine$|BenchmarkSimTableEngineNoPlanCache$|BenchmarkSimTableEngineNoEventSkip$|BenchmarkSimSteadyState$|BenchmarkSimSteadyStateNoEventSkip$|BenchmarkClusterSteadyFleet$|BenchmarkClusterSteadyFleetNoEventSkip$|BenchmarkExperimentPairRunCacheOn$|BenchmarkExperimentPairRunCacheOff$|BenchmarkCachePartitioned$|BenchmarkShadowTagsObserve$|BenchmarkMissCurveReplay$|BenchmarkMissCurveSinglePass$|BenchmarkMissCurveSinglePassSampled$|BenchmarkTimelineEarliestFit$|BenchmarkTimelineChurn$|BenchmarkTimelineSetCapacity$|BenchmarkTimelineAvailability$|BenchmarkWALAppend$|BenchmarkDaemonSubmit$|BenchmarkClusterDispatch'
+benches='BenchmarkFig5$|BenchmarkSimTableEngine$|BenchmarkSimTableEngineNoPlanCache$|BenchmarkSimTableEngineNoEventSkip$|BenchmarkSimSteadyState$|BenchmarkSimSteadyStateNoEventSkip$|BenchmarkClusterSteadyFleet$|BenchmarkClusterSteadyFleetNoEventSkip$|BenchmarkExperimentPairRunCacheOn$|BenchmarkExperimentPairRunCacheOff$|BenchmarkCachePartitioned$|BenchmarkShadowTagsObserve$|BenchmarkMissCurveReplay$|BenchmarkMissCurveSinglePass$|BenchmarkMissCurveSinglePassSampled$|BenchmarkTimelineEarliestFit$|BenchmarkTimelineChurn$|BenchmarkTimelineSetCapacity$|BenchmarkTimelineAvailability$|BenchmarkWALAppend$|BenchmarkDaemonSubmit$|BenchmarkClusterDispatch|BenchmarkControllerTick$'
 
 raw="$(go test -run '^$' -bench "$benches" -benchmem -count "${COUNT:-1}" .)"
 printf '%s\n' "$raw"
